@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench cover experiments experiments-full tools clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# Regenerates every paper table/figure at quick scale via the root
+# benchmark harness.
+bench:
+	go test -bench=. -benchmem ./...
+
+cover:
+	go test -cover ./internal/...
+
+# Quick-scale experiment tables via the CLI (minutes).
+experiments:
+	go run ./cmd/spirebench -quick -expt all
+
+# Paper-scale experiment tables (multi-hour traces; expect ~1 h total).
+experiments-full:
+	go run ./cmd/spirebench -expt all
+
+tools:
+	go build -o bin/spire ./cmd/spire
+	go build -o bin/spiresim ./cmd/spiresim
+	go build -o bin/spirebench ./cmd/spirebench
+	go build -o bin/spirequery ./cmd/spirequery
+	go build -o bin/spiredecompress ./cmd/spiredecompress
+
+clean:
+	rm -rf bin

@@ -1,0 +1,223 @@
+// Command spire runs the SPIRE interpretation and compression substrate
+// over a raw RFID stream and emits the compressed event stream.
+//
+// The input is either a binary raw stream produced by cmd/spiresim for
+// the default warehouse deployment (-input), or a freshly simulated trace
+// (-simulate, the default). Events are printed in the paper's message
+// notation, or written in the binary event wire format with -o.
+//
+//	spire -simulate -duration 1800 -level 2 -o events.bin
+//	spiresim -duration 1800 | spire -input -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spire/internal/core"
+	"spire/internal/epc"
+	"spire/internal/event"
+	"spire/internal/inference"
+	"spire/internal/model"
+	"spire/internal/sim"
+	"spire/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spire:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	simCfg := sim.DefaultConfig()
+	var (
+		input    = flag.String("input", "", "raw stream file ('-' for stdin); readings must come from the default warehouse layout")
+		simulate = flag.Bool("simulate", false, "generate the trace in-process instead of reading one")
+		out      = flag.String("o", "", "write events in binary wire format to this file instead of printing")
+		level    = flag.Int("level", 1, "compression level (1 = range, 2 = containment-based)")
+		duration = flag.Int64("duration", int64(simCfg.Duration), "simulated duration in epochs (with -simulate)")
+		rate     = flag.Float64("read-rate", simCfg.ReadRate, "simulated read rate (with -simulate)")
+		shelfP   = flag.Int64("shelf-period", int64(simCfg.ShelfPeriod), "shelf reader period (with -simulate)")
+		theft    = flag.Int64("theft-interval", int64(simCfg.TheftInterval), "simulated theft interval (with -simulate)")
+		seed     = flag.Int64("seed", simCfg.Seed, "simulation seed (with -simulate)")
+		beta     = flag.Float64("beta", inference.DefaultConfig().Beta, "edge inference β")
+		gamma    = flag.Float64("gamma", inference.DefaultConfig().Gamma, "node inference γ")
+		theta    = flag.Float64("theta", inference.DefaultConfig().Theta, "node inference θ")
+		adaptive = flag.Bool("adaptive-beta", false, "use the adaptive β heuristic")
+		prune    = flag.Float64("prune", 0, "edge prune threshold (0 = off)")
+	)
+	flag.Parse()
+	if *input == "" && !*simulate {
+		*simulate = true
+	}
+
+	simCfg.Seed = *seed
+	simCfg.Duration = model.Epoch(*duration)
+	simCfg.ReadRate = *rate
+	simCfg.ShelfPeriod = model.Epoch(*shelfP)
+	simCfg.TheftInterval = model.Epoch(*theft)
+	s, err := sim.New(simCfg)
+	if err != nil {
+		return err
+	}
+
+	icfg := inference.DefaultConfig()
+	icfg.Beta, icfg.Gamma, icfg.Theta = *beta, *gamma, *theta
+	icfg.AdaptiveBeta = *adaptive
+	icfg.PruneThreshold = *prune
+	sub, err := core.New(core.Config{
+		Readers:     s.Readers(),
+		Locations:   s.Locations(),
+		Inference:   icfg,
+		Compression: core.CompressionLevel(*level),
+	})
+	if err != nil {
+		return err
+	}
+
+	emit, flush, err := makeSink(*out)
+	if err != nil {
+		return err
+	}
+
+	var lastEpoch model.Epoch
+	if *simulate {
+		for !s.Done() {
+			o, err := s.Step()
+			if err != nil {
+				return err
+			}
+			po, err := sub.ProcessEpoch(o)
+			if err != nil {
+				return err
+			}
+			if err := emit(po.Events); err != nil {
+				return err
+			}
+			lastEpoch = o.Time
+		}
+	} else {
+		var src io.Reader = os.Stdin
+		if *input != "-" {
+			f, err := os.Open(*input)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			src = f
+		}
+		r := stream.NewReader(src)
+		obs := model.NewObservation(0)
+		flushObs := func() error {
+			if obs.Time == 0 {
+				return nil
+			}
+			po, err := sub.ProcessEpoch(obs)
+			if err != nil {
+				return err
+			}
+			lastEpoch = obs.Time
+			return emit(po.Events)
+		}
+		for {
+			rd, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if rd.Time != obs.Time {
+				if rd.Time < obs.Time {
+					return fmt.Errorf("raw stream not ordered by epoch (%d after %d)", rd.Time, obs.Time)
+				}
+				if err := flushObs(); err != nil {
+					return err
+				}
+				obs = model.NewObservation(rd.Time)
+			}
+			obs.Add(rd.Reader, rd.Tag)
+		}
+		if err := flushObs(); err != nil {
+			return err
+		}
+	}
+
+	if err := emit(sub.Close(lastEpoch + 1)); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	st := sub.Stats()
+	ratio := 0.0
+	if st.RawBytes > 0 {
+		ratio = float64(st.EventBytes) / float64(st.RawBytes)
+	}
+	fmt.Fprintf(os.Stderr,
+		"spire: %d epochs, %d readings (%d B raw) -> %d events (%d B, ratio %.4f); update %v, inference %v\n",
+		st.Epochs, st.Readings, st.RawBytes, st.Events, st.EventBytes,
+		ratio, st.UpdateTime, st.InferenceTime)
+	return nil
+}
+
+// pretty renders an event with decoded EPC identities instead of raw
+// 64-bit tags.
+func pretty(e event.Event) string {
+	name := func(g model.Tag) string {
+		id, err := epc.Decode(g)
+		if err != nil {
+			return fmt.Sprintf("%d", g)
+		}
+		return fmt.Sprintf("%s-%d.%d", id.Level, id.ItemRef, id.Serial)
+	}
+	ve := fmt.Sprintf("%d", e.Ve)
+	if e.Ve == model.InfiniteEpoch {
+		ve = "inf"
+	}
+	if e.Kind.Containment() {
+		return fmt.Sprintf("%s(%s, %s, %d, %s)", e.Kind, name(e.Object), name(e.Container), e.Vs, ve)
+	}
+	return fmt.Sprintf("%s(%s, %v, %d, %s)", e.Kind, name(e.Object), e.Location, e.Vs, ve)
+}
+
+// makeSink returns an event consumer: pretty printing to stdout, or the
+// binary wire format when path is set.
+func makeSink(path string) (emit func([]event.Event) error, flush func() error, err error) {
+	if path == "" {
+		w := bufio.NewWriter(os.Stdout)
+		return func(evs []event.Event) error {
+				for _, e := range evs {
+					if _, err := fmt.Fprintln(w, pretty(e)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, func() error {
+				return w.Flush()
+			}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := event.NewWriter(f)
+	return func(evs []event.Event) error {
+			for _, e := range evs {
+				if err := w.Write(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, func() error {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}, nil
+}

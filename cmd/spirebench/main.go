@@ -1,0 +1,82 @@
+// Command spirebench regenerates the tables and figures of the paper's
+// evaluation (Section VI).
+//
+//	spirebench -list
+//	spirebench -expt fig9d -quick
+//	spirebench -expt all > results.txt
+//
+// Full runs replicate the paper's multi-hour workloads and can take a
+// long time; -quick shrinks every workload while preserving the shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spire/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spirebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expt  = flag.String("expt", "all", "experiment id, comma-separated list, or 'all'")
+		quick = flag.Bool("quick", false, "shrunken workloads (minutes instead of hours)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	reg := experiments.Registry()
+	var ids []string
+	if *expt == "all" {
+		// fig11 covers fig11a/b/c in one sweep; skip the single-figure
+		// aliases to avoid rerunning it three times.
+		for _, id := range experiments.IDs() {
+			switch id {
+			case "fig11a", "fig11b", "fig11c":
+				continue
+			}
+			ids = append(ids, id)
+		}
+	} else {
+		for _, id := range strings.Split(*expt, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := reg[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := reg[id](opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			if _, err := t.WriteTo(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "spirebench: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

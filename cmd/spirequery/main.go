@@ -1,0 +1,170 @@
+// Command spirequery answers tracking queries over a SPIRE output stream.
+//
+// The stream is loaded either from a binary event file written by
+// cmd/spire -o, or from a durable event log directory written with
+// internal/eventlog. Level-2 streams are decompressed on the fly with
+// -level2, the paper's on-demand decompression pattern.
+//
+//	spire -simulate -duration 1200 -o events.bin
+//	spirequery -events events.bin -summary
+//	spirequery -events events.bin -obj 7696581394433 -at 500
+//	spirequery -events events.bin -path 7696581394433
+//	spirequery -events events.bin -missing-at 900
+//	spirequery -events events.bin -loc 2 -at 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"spire/internal/compress"
+	"spire/internal/epc"
+	"spire/internal/event"
+	"spire/internal/eventlog"
+	"spire/internal/httpapi"
+	"spire/internal/model"
+	"spire/internal/query"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spirequery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		eventsFile = flag.String("events", "", "binary event stream file")
+		logDir     = flag.String("log", "", "event log directory (alternative to -events)")
+		level2     = flag.Bool("level2", false, "input is a level-2 stream: decompress while loading")
+		summary    = flag.Bool("summary", false, "print stream summary")
+		obj        = flag.Uint64("obj", 0, "object tag for -at/-path/-history queries")
+		at         = flag.Int64("at", -1, "query timestamp")
+		path       = flag.Uint64("path", 0, "print the location path of this tag")
+		history    = flag.Uint64("history", 0, "print the stay history of this tag")
+		missingAt  = flag.Int64("missing-at", -1, "list objects missing at this time")
+		loc        = flag.Int64("loc", -1, "location id for -at occupancy queries")
+		serve      = flag.String("serve", "", "serve the loaded stream over HTTP on this address (e.g. :8080)")
+	)
+	flag.Parse()
+
+	store := query.NewStore()
+	var dec *compress.Decompressor
+	if *level2 {
+		dec = compress.NewDecompressor()
+	}
+	feed := func(e event.Event) error {
+		if dec != nil {
+			out, err := dec.Step([]event.Event{e})
+			if err != nil {
+				return err
+			}
+			return store.Feed(out...)
+		}
+		return store.Feed(e)
+	}
+
+	switch {
+	case *eventsFile != "":
+		f, err := os.Open(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r := event.NewReader(f)
+		for {
+			e, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := feed(e); err != nil {
+				return err
+			}
+		}
+	case *logDir != "":
+		if err := eventlog.Replay(*logDir, feed); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -events or -log is required")
+	}
+
+	if *serve != "" {
+		fmt.Fprintf(os.Stderr, "spirequery: serving %d events over http on %s\n", store.Events(), *serve)
+		return http.ListenAndServe(*serve, httpapi.New(store, nil))
+	}
+
+	ran := false
+	if *summary {
+		ran = true
+		fmt.Printf("events: %d, objects: %d\n", store.Events(), len(store.Objects()))
+	}
+	if *obj != 0 && *at >= 0 {
+		ran = true
+		g := model.Tag(*obj)
+		t := model.Epoch(*at)
+		if l, ok := store.LocationAt(g, t); ok {
+			fmt.Printf("%s @%d: location L%d\n", name(g), t, l)
+		} else {
+			fmt.Printf("%s @%d: location unknown\n", name(g), t)
+		}
+		if c, ok := store.ContainerAt(g, t); ok {
+			fmt.Printf("%s @%d: inside %s (top: %s)\n", name(g), t, name(c), name(store.TopContainerAt(g, t)))
+		} else {
+			fmt.Printf("%s @%d: not contained\n", name(g), t)
+		}
+	}
+	if *path != 0 {
+		ran = true
+		fmt.Printf("path of %s:", name(model.Tag(*path)))
+		for _, l := range store.Path(model.Tag(*path)) {
+			fmt.Printf(" L%d", l)
+		}
+		fmt.Println()
+	}
+	if *history != 0 {
+		ran = true
+		for _, st := range store.History(model.Tag(*history)) {
+			ve := fmt.Sprintf("%d", st.Ve)
+			if st.Ve == model.InfiniteEpoch {
+				ve = "open"
+			}
+			fmt.Printf("[%6d .. %6s)  L%d\n", st.Vs, ve, st.Location)
+		}
+	}
+	if *missingAt >= 0 {
+		ran = true
+		miss := store.MissingAt(model.Epoch(*missingAt))
+		fmt.Printf("missing at %d: %d objects\n", *missingAt, len(miss))
+		for _, g := range miss {
+			fmt.Printf("  %s\n", name(g))
+		}
+	}
+	if *loc >= 0 && *at >= 0 {
+		ran = true
+		objs := store.ObjectsAt(model.LocationID(*loc), model.Epoch(*at))
+		fmt.Printf("at L%d @%d: %d objects\n", *loc, *at, len(objs))
+		for _, g := range objs {
+			fmt.Printf("  %s\n", name(g))
+		}
+	}
+	if !ran {
+		return fmt.Errorf("no query requested (try -summary)")
+	}
+	return nil
+}
+
+func name(g model.Tag) string {
+	id, err := epc.Decode(g)
+	if err != nil {
+		return fmt.Sprintf("tag-%d", g)
+	}
+	return fmt.Sprintf("%s-%d.%d(%d)", id.Level, id.ItemRef, id.Serial, g)
+}

@@ -1,0 +1,90 @@
+package compress
+
+import (
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/inference"
+	"spire/internal/model"
+)
+
+// benchResults synthesizes a cycle of inference results over nObjects:
+// mostly stationary epochs with a rolling 5% of objects moving, the
+// workload profile compression exists for.
+func benchResults(nObjects int, epochs int) []*inference.Result {
+	out := make([]*inference.Result, 0, epochs)
+	locs := make([]model.LocationID, nObjects)
+	for e := 0; e < epochs; e++ {
+		r := &inference.Result{
+			Now:       model.Epoch(e + 1),
+			Locations: make(map[model.Tag]model.LocationID, nObjects),
+			Parents:   make(map[model.Tag]model.Tag, nObjects),
+			Observed:  map[model.Tag]bool{},
+		}
+		for i := 0; i < nObjects; i++ {
+			if (i+e)%20 == 0 {
+				locs[i] = (locs[i] + 1) % 4
+			}
+			g := model.Tag(i + 1)
+			r.Locations[g] = locs[i]
+			r.Parents[g] = model.NoTag
+			if i%21 != 0 { // every 21st object is a "case"
+				parent := model.Tag(i/21*21 + 1)
+				if parent != g {
+					r.Parents[g] = parent
+					r.Locations[g] = locs[i/21*21]
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func levelOfBench(g model.Tag) model.Level {
+	if int(g-1)%21 == 0 {
+		return model.LevelCase
+	}
+	return model.LevelItem
+}
+
+func BenchmarkLevel1Compress(b *testing.B) {
+	results := benchResults(2000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewLevel1(levelOfBench)
+		for _, r := range results {
+			c.Compress(r)
+		}
+	}
+	b.ReportMetric(float64(2000*16)/float64(16), "objects/epoch")
+}
+
+func BenchmarkLevel2Compress(b *testing.B) {
+	results := benchResults(2000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewLevel2(levelOfBench)
+		for _, r := range results {
+			c.Compress(r)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	results := benchResults(2000, 16)
+	c := NewLevel2(levelOfBench)
+	var batches [][]event.Event
+	for _, r := range results {
+		batches = append(batches, c.Compress(r))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecompressor()
+		for _, batch := range batches {
+			if _, err := d.Step(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

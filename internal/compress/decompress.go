@@ -1,0 +1,313 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// Decompressor transforms a level-2 compressed stream back into a level-1
+// compressed stream on demand (§V-C). It maintains the containment
+// hierarchy from the containment messages and propagates each container's
+// location updates to its (transitively) contained objects, suppressing
+// the duplicate events that arise at containment boundaries and the
+// artificial pair breaks level-2 introduces when a containment starts.
+//
+// Feed events one epoch at a time via Step; within an epoch the level-2
+// compressor guarantees containment messages precede location messages and
+// containers precede their contents, which Step relies on.
+type Decompressor struct {
+	children map[model.Tag]map[model.Tag]struct{}
+	parents  map[model.Tag]model.Tag
+
+	// Open location pair per object in the *reconstructed* stream.
+	loc   map[model.Tag]model.LocationID
+	locVs map[model.Tag]model.Epoch
+
+	// lastClosed remembers where and when each object's pair last closed;
+	// the zero-length-couple handling below uses it to distinguish "this
+	// object's stay here was already closed this epoch" (cascade did the
+	// work) from "the object arrived here this epoch" (a genuine
+	// zero-length stay that must be reproduced).
+	lastClosed map[model.Tag]closedPair
+
+	// pending holds the containments started in the current epoch; after
+	// the epoch's location events are processed, children that still
+	// disagree with their new container's open location are aligned (the
+	// container may itself move within the joining epoch, so alignment
+	// cannot happen eagerly).
+	pending []event.Event
+
+	out []emission
+}
+
+// closedPair records the closing of an object's location pair.
+type closedPair struct {
+	loc model.LocationID
+	at  model.Epoch
+}
+
+// NewDecompressor creates an empty decompressor.
+func NewDecompressor() *Decompressor {
+	return &Decompressor{
+		children:   make(map[model.Tag]map[model.Tag]struct{}),
+		parents:    make(map[model.Tag]model.Tag),
+		loc:        make(map[model.Tag]model.LocationID),
+		locVs:      make(map[model.Tag]model.Epoch),
+		lastClosed: make(map[model.Tag]closedPair),
+	}
+}
+
+// Step decompresses one epoch's worth of level-2 events and returns the
+// corresponding level-1 events, in the order the level-2 compressor (and
+// its Retire calls) emitted them. A batch may contain several
+// containment-phase/location-phase segments — one per Compress or Retire
+// call — which are processed in sequence.
+func (d *Decompressor) Step(events []event.Event) ([]event.Event, error) {
+	d.out = d.out[:0]
+	for len(events) > 0 {
+		// A segment is a run of containment events followed by a run of
+		// location events.
+		i := 0
+		for i < len(events) && events[i].Kind.Containment() {
+			i++
+		}
+		for i < len(events) && !events[i].Kind.Containment() {
+			i++
+		}
+		if err := d.stepSegment(events[:i]); err != nil {
+			return nil, err
+		}
+		events = events[i:]
+	}
+	out := make([]event.Event, len(d.out))
+	for i, em := range d.out {
+		out[i] = em.ev
+	}
+	return out, nil
+}
+
+func (d *Decompressor) stepSegment(events []event.Event) error {
+	d.pending = d.pending[:0]
+	phase := 0
+	for _, e := range events {
+		if e.Kind.Containment() {
+			if phase == 1 {
+				return fmt.Errorf("compress: containment event %v after location events in segment", e)
+			}
+			d.applyContainment(e)
+		} else {
+			phase = 1
+		}
+	}
+	var deferredEnds []event.Event
+	for i := 0; i < len(events); i++ {
+		e := events[i]
+		if e.Kind.Containment() {
+			continue
+		}
+		// A zero-length Start/End couple means "this object's presence ends
+		// here at t". If the reconstructed pair is still open, close it
+		// (the pair's real extent replaces the zero-length one). If it was
+		// already closed this epoch at this very location, a cascade did
+		// the work and nothing remains. Otherwise the object genuinely
+		// arrived here this epoch and the zero-length stay is reproduced
+		// literally.
+		if e.Kind == event.StartLocation && i+1 < len(events) {
+			n := events[i+1]
+			if n.Kind == event.EndLocation && n.Object == e.Object &&
+				n.Location == e.Location && n.Vs == e.Vs && n.Ve == e.Vs {
+				if cur, open := d.loc[e.Object]; open {
+					d.endCascade(e.Object, cur, n.Ve)
+				} else if lc, ok := d.lastClosed[e.Object]; !ok || lc.at != n.Ve || lc.loc != e.Location {
+					d.startPair(e.Object, e.Location, e.Vs)
+					d.endPair(e.Object, n.Ve)
+				}
+				i++
+				continue
+			}
+		}
+		// An EndLocation for a currently contained object is level-2's
+		// containment-start artifact; whether the level-1 pair really
+		// closes depends on where the container finally settles this
+		// epoch, so judge it after the alignment pass below.
+		if e.Kind == event.EndLocation {
+			if _, contained := d.parents[e.Object]; contained {
+				deferredEnds = append(deferredEnds, e)
+				continue
+			}
+		}
+		d.applyLocation(e)
+	}
+	// Align this epoch's joiners with their containers' settled locations:
+	// a child that joined a container which emitted no location event this
+	// epoch inherits the container's open pair now.
+	for _, e := range d.pending {
+		if d.parents[e.Object] != e.Container {
+			continue // re-parented or detached again within the epoch
+		}
+		if ploc, ok := d.loc[e.Container]; ok {
+			if cloc, open := d.loc[e.Object]; !open || cloc != ploc {
+				d.startCascade(e.Object, ploc, e.Vs)
+			}
+		}
+	}
+	for _, e := range deferredEnds {
+		d.applyLocation(e)
+	}
+	return nil
+}
+
+// Close ends every reconstructed pair still open at epoch now. Call it
+// after feeding the final (closing) batch of the level-2 stream: the
+// level-2 Close detaches containments before its location ends, so
+// contained objects' reconstructed pairs are left for this sweep.
+func (d *Decompressor) Close(now model.Epoch) []event.Event {
+	objs := make([]model.Tag, 0, len(d.loc))
+	for obj := range d.loc {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	d.out = d.out[:0]
+	for _, obj := range objs {
+		d.endPair(obj, now)
+	}
+	out := make([]event.Event, len(d.out))
+	for i, em := range d.out {
+		out[i] = em.ev
+	}
+	return out
+}
+
+func (d *Decompressor) applyContainment(e event.Event) {
+	// Containment messages pass through unchanged.
+	d.out = append(d.out, emission{ev: e})
+	switch e.Kind {
+	case event.StartContainment:
+		if d.parents[e.Object] == e.Container {
+			return
+		}
+		d.detach(e.Object)
+		d.parents[e.Object] = e.Container
+		kids := d.children[e.Container]
+		if kids == nil {
+			kids = make(map[model.Tag]struct{})
+			d.children[e.Container] = kids
+		}
+		kids[e.Object] = struct{}{}
+		d.pending = append(d.pending, e)
+	case event.EndContainment:
+		if d.parents[e.Object] == e.Container {
+			d.detach(e.Object)
+		}
+	}
+}
+
+func (d *Decompressor) detach(obj model.Tag) {
+	if p, ok := d.parents[obj]; ok {
+		delete(d.children[p], obj)
+		if len(d.children[p]) == 0 {
+			delete(d.children, p)
+		}
+		delete(d.parents, obj)
+	}
+}
+
+func (d *Decompressor) applyLocation(e event.Event) {
+	switch e.Kind {
+	case event.StartLocation:
+		d.startCascade(e.Object, e.Location, e.Vs)
+	case event.EndLocation:
+		cur, open := d.loc[e.Object]
+		if !open || cur != e.Location {
+			// The pair this event refers to was already closed (or moved)
+			// by a container's cascading update earlier in the epoch.
+			return
+		}
+		// Suppress the artificial close that level-2 emits when an object
+		// becomes contained in a container already open at the same
+		// location: in the level-1 view the pair simply continues.
+		if p, contained := d.parents[e.Object]; contained {
+			if ploc, ok := d.loc[p]; ok && ploc == e.Location {
+				return
+			}
+		}
+		d.endCascade(e.Object, e.Location, e.Ve)
+	case event.Missing:
+		d.missingCascade(e.Object, e.Location, e.Vs)
+	}
+}
+
+// startCascade opens a pair at loc for obj and, recursively, for its
+// contents, skipping duplicates (already open at the same location).
+func (d *Decompressor) startCascade(obj model.Tag, loc model.LocationID, t model.Epoch) {
+	if cur, open := d.loc[obj]; open {
+		if cur == loc {
+			// Duplicate: e.g. the StartLocation level-2 emits when a
+			// containment ends but the object has not actually moved.
+			return
+		}
+		d.endPair(obj, t)
+	}
+	d.startPair(obj, loc, t)
+	for _, c := range d.childList(obj) {
+		d.startCascade(c, loc, t)
+	}
+}
+
+// endCascade closes obj's pair at loc and recurses into the contents that
+// shared that location. A child open elsewhere did not co-reside with the
+// departing container (it joined this very epoch from the container's
+// destination); its pair is left for the container's Start cascade or the
+// deferred alignment.
+func (d *Decompressor) endCascade(obj model.Tag, loc model.LocationID, t model.Epoch) {
+	if cur, open := d.loc[obj]; !open || cur != loc {
+		return
+	}
+	d.endPair(obj, t)
+	for _, c := range d.childList(obj) {
+		d.endCascade(c, loc, t)
+	}
+}
+
+func (d *Decompressor) missingCascade(obj model.Tag, from model.LocationID, t model.Epoch) {
+	d.endPair(obj, t)
+	d.out = append(d.out, emission{ev: event.NewMissing(obj, from, t)})
+	for _, c := range d.childList(obj) {
+		d.missingCascade(c, from, t)
+	}
+}
+
+func (d *Decompressor) startPair(obj model.Tag, loc model.LocationID, t model.Epoch) {
+	d.out = append(d.out, emission{ev: event.NewStartLocation(obj, loc, t)})
+	d.loc[obj] = loc
+	d.locVs[obj] = t
+}
+
+// endPair closes obj's open pair, rewriting Vs to the reconstructed pair's
+// true start (level-2 pairs can start later than the level-1 ones).
+func (d *Decompressor) endPair(obj model.Tag, t model.Epoch) {
+	loc, open := d.loc[obj]
+	if !open {
+		return
+	}
+	d.out = append(d.out, emission{ev: event.NewEndLocation(obj, loc, d.locVs[obj], t)})
+	d.lastClosed[obj] = closedPair{loc: loc, at: t}
+	delete(d.loc, obj)
+	delete(d.locVs, obj)
+}
+
+func (d *Decompressor) childList(obj model.Tag) []model.Tag {
+	kids := d.children[obj]
+	if len(kids) == 0 {
+		return nil
+	}
+	out := make([]model.Tag, 0, len(kids))
+	for c := range kids {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,234 @@
+package compress
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/inference"
+	"spire/internal/model"
+)
+
+// genWorldImpl evolves a random containment forest with inherited
+// locations — the invariant conflict resolution guarantees (a contained
+// object is always reported at its container's location) — and
+// occasionally retires whole top-level groups, mirroring proper warehouse
+// exits.
+func newGenWorld(seed int64) *genWorldImpl {
+	w := &genWorldImpl{
+		rng:     rand.New(rand.NewSource(seed)),
+		parent:  make(map[model.Tag]model.Tag),
+		rootLoc: make(map[model.Tag]model.LocationID),
+		retired: make(map[model.Tag]bool),
+	}
+	// 2 pallets, 4 cases, 8 items (tag ranges per levelOfT).
+	w.tags = []model.Tag{100, 101, 200, 201, 202, 203, 300, 301, 302, 303, 304, 305, 306, 307}
+	for _, g := range w.tags {
+		w.rootLoc[g] = model.LocationID(w.rng.Intn(4))
+	}
+	return w
+}
+
+type genWorldImpl struct {
+	rng     *rand.Rand
+	tags    []model.Tag
+	parent  map[model.Tag]model.Tag
+	rootLoc map[model.Tag]model.LocationID
+	retired map[model.Tag]bool
+}
+
+func (w *genWorldImpl) root(g model.Tag) model.Tag {
+	for {
+		p, ok := w.parent[g]
+		if !ok {
+			return g
+		}
+		g = p
+	}
+}
+
+func (w *genWorldImpl) locOf(g model.Tag) model.LocationID {
+	return w.rootLoc[w.root(g)]
+}
+
+// step mutates the world for one epoch and returns the inference result
+// plus the tags retired this epoch (in retirement order: containers
+// first).
+func (w *genWorldImpl) step(now model.Epoch) (*inference.Result, []model.Tag) {
+	// Root movement / disappearance / reappearance first, so containment
+	// churn (and its Known-location constraint) sees this epoch's
+	// locations — conflict resolution never attaches an object into the
+	// "unknown" location.
+	roots := make([]model.Tag, 0, len(w.rootLoc))
+	for g := range w.rootLoc {
+		roots = append(roots, g)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, g := range roots {
+		if w.retired[g] {
+			continue
+		}
+		loc := w.rootLoc[g]
+		r := w.rng.Float64()
+		switch {
+		case r < 0.15:
+			w.rootLoc[g] = model.LocationID(w.rng.Intn(4))
+		case r < 0.20:
+			w.rootLoc[g] = model.LocationUnknown
+		case r < 0.25 && loc == model.LocationUnknown:
+			w.rootLoc[g] = model.LocationID(w.rng.Intn(4))
+		}
+	}
+	// Containment churn.
+	for i := 0; i < 2; i++ {
+		g := w.tags[w.rng.Intn(len(w.tags))]
+		if w.retired[g] || levelOfT(g) == model.LevelPallet {
+			continue
+		}
+		if _, has := w.parent[g]; has && w.rng.Float64() < 0.5 {
+			loc := w.locOf(g) // inherited location at detach time
+			delete(w.parent, g)
+			w.rootLoc[g] = loc
+			continue
+		}
+		if !w.locOf(g).Known() {
+			continue // a missing object cannot be observed joining a group
+		}
+		cands := w.candidates(g)
+		if len(cands) > 0 {
+			p := cands[w.rng.Intn(len(cands))]
+			w.parent[g] = p
+			delete(w.rootLoc, g)
+		}
+	}
+	// Occasional retirement of one whole top-level group.
+	var retire []model.Tag
+	if w.rng.Float64() < 0.03 {
+		root := w.tags[w.rng.Intn(len(w.tags))]
+		root = w.root(root)
+		if !w.retired[root] {
+			group := []model.Tag{root}
+			for _, g := range w.tags {
+				if g != root && !w.retired[g] && w.root(g) == root {
+					group = append(group, g)
+				}
+			}
+			sort.Slice(group, func(i, j int) bool {
+				li, lj := levelOfT(group[i]), levelOfT(group[j])
+				if li != lj {
+					return li > lj
+				}
+				return group[i] < group[j]
+			})
+			for _, g := range group {
+				w.retired[g] = true
+				delete(w.parent, g)
+				delete(w.rootLoc, g)
+			}
+			retire = group
+		}
+	}
+
+	r := &inference.Result{
+		Now:       now,
+		Locations: make(map[model.Tag]model.LocationID),
+		Parents:   make(map[model.Tag]model.Tag),
+		Observed:  map[model.Tag]bool{},
+	}
+	for _, g := range w.tags {
+		if w.retired[g] {
+			continue
+		}
+		r.Locations[g] = w.locOf(g)
+		if p, ok := w.parent[g]; ok {
+			r.Parents[g] = p
+		} else {
+			r.Parents[g] = model.NoTag
+		}
+	}
+	return r, retire
+}
+
+func (w *genWorldImpl) locOfAfterDetach(g model.Tag) model.LocationID {
+	return w.locOf(g) // still attached at call time
+}
+
+func (w *genWorldImpl) candidates(g model.Tag) []model.Tag {
+	var out []model.Tag
+	for _, p := range w.tags {
+		if w.retired[p] || levelOfT(p) <= levelOfT(g) {
+			continue
+		}
+		if !w.locOf(p).Known() {
+			continue
+		}
+		// No cycles possible since parents are strictly higher-level.
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestRandomizedLevel2Equivalence drives both compressors with hundreds of
+// random state sequences and checks that (a) all three streams are
+// well-formed, (b) decompressing level 2 reproduces level 1 exactly, and
+// (c) the level-2 stream is never larger than the level-1 stream.
+func TestRandomizedLevel2Equivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		w := newGenWorld(seed)
+		l1c := NewLevel1(levelOfT)
+		l2c := NewLevel2(levelOfT)
+		d := NewDecompressor()
+		var l1all, l2all, decall []event.Event
+
+		const epochs = 120
+		for now := model.Epoch(1); now <= epochs; now++ {
+			res, retire := w.step(now)
+			e1 := l1c.Compress(res)
+			e2 := l2c.Compress(res)
+			dec, err := d.Step(e2)
+			if err != nil {
+				t.Fatalf("seed %d epoch %d: %v", seed, now, err)
+			}
+			l1all = append(l1all, e1...)
+			l2all = append(l2all, e2...)
+			decall = append(decall, dec...)
+			for _, g := range retire {
+				r1 := l1c.Retire(g, now)
+				r2 := l2c.Retire(g, now)
+				dec, err := d.Step(r2)
+				if err != nil {
+					t.Fatalf("seed %d epoch %d retire: %v", seed, now, err)
+				}
+				l1all = append(l1all, r1...)
+				l2all = append(l2all, r2...)
+				decall = append(decall, dec...)
+			}
+		}
+		c1 := l1c.Close(epochs + 1)
+		c2 := l2c.Close(epochs + 1)
+		dec, err := d.Step(c2)
+		if err != nil {
+			t.Fatalf("seed %d close: %v", seed, err)
+		}
+		l1all = append(l1all, c1...)
+		l2all = append(l2all, c2...)
+		decall = append(decall, dec...)
+		decall = append(decall, d.Close(epochs+1)...)
+
+		if err := event.CheckWellFormed(l1all, true); err != nil {
+			t.Fatalf("seed %d: level-1 stream: %v", seed, err)
+		}
+		if err := event.CheckWellFormed(l2all, true); err != nil {
+			t.Fatalf("seed %d: level-2 stream: %v", seed, err)
+		}
+		if err := event.CheckWellFormed(decall, true); err != nil {
+			t.Fatalf("seed %d: decompressed stream: %v", seed, err)
+		}
+		if event.StreamSize(l2all) > event.StreamSize(l1all) {
+			t.Errorf("seed %d: level-2 stream (%d B) larger than level-1 (%d B)",
+				seed, event.StreamSize(l2all), event.StreamSize(l1all))
+		}
+		compareByObject(t, decall, l1all)
+	}
+}

@@ -1,0 +1,345 @@
+// Package core wires SPIRE's modules into the interpretation and
+// compression substrate of Fig. 2: device-level deduplication feeds the
+// stream-driven graph update (data capture), a probabilistic inference
+// pass estimates per-object locations and containment, conflict resolution
+// reconciles the two, and an online compressor turns the interpreted state
+// into the compressed output event stream.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spire/internal/compress"
+	"spire/internal/dedup"
+	"spire/internal/epc"
+	"spire/internal/event"
+	"spire/internal/graph"
+	"spire/internal/inference"
+	"spire/internal/model"
+	"spire/internal/stream"
+)
+
+// CompressionLevel selects the output compressor.
+type CompressionLevel int
+
+// Compression levels of Section V.
+const (
+	Level1 CompressionLevel = 1 // range compression
+	Level2 CompressionLevel = 2 // containment-based location compression
+)
+
+// Config assembles a substrate.
+type Config struct {
+	// Readers is the full reader deployment; it drives reader lookup
+	// during updates and the partial/complete inference schedule.
+	Readers []model.Reader
+	// Locations is the warehouse location table; locations marked Exit
+	// retire observed objects after inference.
+	Locations []model.Location
+
+	Graph     graph.Config
+	Inference inference.Config
+
+	// Compression selects level-1 or level-2 output (default level 1).
+	Compression CompressionLevel
+
+	// WarmupLocation, when valid, marks a location (the entry door in the
+	// paper's setup) whose readings only warm up the graph; objects there
+	// still get verdicts, but callers typically exclude them from
+	// accuracy scoring. Kept here so tools can discover it.
+	WarmupLocation model.LocationID
+
+	// KeepRawResult additionally exposes the inference result *before*
+	// conflict resolution in EpochOutput.RawResult. The paper's accuracy
+	// experiments (Expts 1-4) score raw inference; only the output-stream
+	// experiment includes conflict resolution.
+	KeepRawResult bool
+}
+
+// Stats accumulates the per-epoch costs reported in Table III.
+type Stats struct {
+	Epochs        int64
+	Readings      int64
+	UpdateTime    time.Duration
+	InferenceTime time.Duration
+	Events        int64
+	EventBytes    int64
+	RawBytes      int64
+}
+
+// EpochOutput is the result of processing one epoch.
+type EpochOutput struct {
+	// Result is the (conflict-resolved) inference result.
+	Result *inference.Result
+	// RawResult is the result before conflict resolution; only populated
+	// when Config.KeepRawResult is set.
+	RawResult *inference.Result
+	// Mode says whether complete or partial inference ran.
+	Mode inference.Mode
+	// Events is the compressed output for the epoch, including the
+	// closing events of objects that exited through a proper channel.
+	Events []event.Event
+	// Retired lists objects removed from the graph this epoch (exit-door
+	// departures, containers first).
+	Retired []model.Tag
+}
+
+// Substrate is the SPIRE interpretation and compression substrate. It is
+// not safe for concurrent use.
+type Substrate struct {
+	cfg      Config
+	readers  map[model.ReaderID]*model.Reader
+	order    []model.ReaderID
+	exits    map[model.LocationID]bool
+	dedup    *dedup.Deduplicator
+	graph    *graph.Graph
+	inf      *inference.Inferencer
+	schedule inference.Schedule
+	comp     compressor
+	stats    Stats
+	lastNow  model.Epoch
+
+	// tombstones are tags already retired through an exit. A retired
+	// object is often still within the exit reader's range for a few more
+	// epochs, so readings of tombstoned tags by exit readers are ignored —
+	// that keeps departed objects from flapping back into the graph as
+	// ghosts. A reading by any *other* reader, though, is evidence the
+	// retirement was wrong (e.g. a case whose stale containment made it
+	// look like it left inside a departing pallet, when it was really
+	// missed on the receiving belt): the tag is resurrected and processed
+	// normally.
+	tombstones map[model.Tag]struct{}
+}
+
+// compressor is the shared surface of the two compression levels.
+type compressor interface {
+	Compress(*inference.Result) []event.Event
+	Retire(model.Tag, model.Epoch) []event.Event
+	Close(model.Epoch) []event.Event
+}
+
+// New builds a substrate.
+func New(cfg Config) (*Substrate, error) {
+	if len(cfg.Readers) == 0 {
+		return nil, fmt.Errorf("core: no readers configured")
+	}
+	if len(cfg.Locations) == 0 {
+		return nil, fmt.Errorf("core: no locations configured")
+	}
+	if cfg.Compression == 0 {
+		cfg.Compression = Level1
+	}
+	if cfg.Compression != Level1 && cfg.Compression != Level2 {
+		return nil, fmt.Errorf("core: unknown compression level %d", cfg.Compression)
+	}
+	g, err := graph.New(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	inf, err := inference.New(cfg.Inference, g.Config().HistorySize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Substrate{
+		cfg:        cfg,
+		readers:    make(map[model.ReaderID]*model.Reader, len(cfg.Readers)),
+		exits:      make(map[model.LocationID]bool),
+		dedup:      dedup.New(),
+		graph:      g,
+		inf:        inf,
+		schedule:   inference.NewSchedule(cfg.Readers),
+		lastNow:    model.EpochNone,
+		tombstones: make(map[model.Tag]struct{}),
+	}
+	for i := range cfg.Readers {
+		r := &cfg.Readers[i]
+		if _, dup := s.readers[r.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate reader ID %d", r.ID)
+		}
+		s.readers[r.ID] = r
+		s.order = append(s.order, r.ID)
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	for _, l := range cfg.Locations {
+		if l.Exit {
+			s.exits[l.ID] = true
+		}
+	}
+	if cfg.Compression == Level2 {
+		s.comp = compress.NewLevel2(levelOf)
+	} else {
+		s.comp = compress.NewLevel1(levelOf)
+	}
+	return s, nil
+}
+
+func levelOf(g model.Tag) model.Level {
+	l, _ := epc.LevelOf(g)
+	return l
+}
+
+// Graph exposes the time-varying graph (read-mostly; used by the memory
+// experiment and by diagnostics).
+func (s *Substrate) Graph() *graph.Graph { return s.graph }
+
+// Schedule exposes the partial/complete inference schedule.
+func (s *Substrate) Schedule() inference.Schedule { return s.schedule }
+
+// Stats returns accumulated processing statistics.
+func (s *Substrate) Stats() Stats { return s.stats }
+
+// ProcessEpoch runs the full substrate over one epoch's observation:
+// dedup → graph update (per reader) → inference → conflict resolution →
+// compression → exit retirement.
+func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
+	if o == nil {
+		return nil, fmt.Errorf("core: nil observation")
+	}
+	if o.Time <= s.lastNow {
+		return nil, fmt.Errorf("core: epoch %d not after previous epoch %d", o.Time, s.lastNow)
+	}
+	s.lastNow = o.Time
+	now := o.Time
+	s.stats.Epochs++
+	s.stats.Readings += int64(o.Total())
+	s.stats.RawBytes += int64(o.Total()) * stream.ReadingSize
+
+	s.dedup.Clean(o)
+	if len(s.tombstones) > 0 {
+		for r, tags := range o.ByReader {
+			reader, known := s.readers[r]
+			atExit := known && s.exits[reader.Location]
+			kept := tags[:0]
+			for _, g := range tags {
+				if _, dead := s.tombstones[g]; dead {
+					if atExit {
+						continue // residual reading of a departed object
+					}
+					delete(s.tombstones, g) // wrongly retired: resurrect
+				}
+				kept = append(kept, g)
+			}
+			o.ByReader[r] = kept
+		}
+	}
+
+	start := time.Now()
+	for _, id := range s.order {
+		tags, ok := o.ByReader[id]
+		if !ok {
+			continue
+		}
+		if err := s.graph.Update(s.readers[id], tags, now); err != nil {
+			return nil, err
+		}
+	}
+	for id := range o.ByReader {
+		if _, ok := s.readers[id]; !ok {
+			return nil, fmt.Errorf("core: reading from unknown reader %d", id)
+		}
+	}
+	s.stats.UpdateTime += time.Since(start)
+
+	start = time.Now()
+	mode := s.schedule.ModeAt(now)
+	res := s.inf.Infer(s.graph, now, mode)
+	var raw *inference.Result
+	if s.cfg.KeepRawResult {
+		raw = &inference.Result{
+			Now:       res.Now,
+			Partial:   res.Partial,
+			Locations: make(map[model.Tag]model.LocationID, len(res.Locations)),
+			Parents:   make(map[model.Tag]model.Tag, len(res.Parents)),
+			Observed:  res.Observed,
+		}
+		for k, v := range res.Locations {
+			raw.Locations[k] = v
+		}
+		for k, v := range res.Parents {
+			raw.Parents[k] = v
+		}
+	}
+	inference.ResolveConflicts(res, levelOf)
+	s.stats.InferenceTime += time.Since(start)
+
+	out := &EpochOutput{Result: res, RawResult: raw, Mode: mode}
+	out.Events = s.comp.Compress(res)
+
+	// Exit handling (§IV-C graph pruning): objects observed at an exit
+	// location this epoch left the world properly; they are retired
+	// together with everything they (reportedly) contain, containers
+	// first.
+	retired := s.exitSet(res)
+	for _, g := range retired {
+		out.Events = append(out.Events, s.comp.Retire(g, now)...)
+		s.graph.RemoveNode(g)
+		s.dedup.Forget(g)
+		s.tombstones[g] = struct{}{}
+	}
+	out.Retired = retired
+
+	s.stats.Events += int64(len(out.Events))
+	s.stats.EventBytes += event.StreamSize(out.Events)
+	return out, nil
+}
+
+// exitSet collects the objects retiring this epoch: those observed at an
+// exit location plus, transitively, the objects whose chosen container is
+// retiring. Sorted containers-first (level descending, then tag).
+func (s *Substrate) exitSet(res *inference.Result) []model.Tag {
+	if len(s.exits) == 0 {
+		return nil
+	}
+	var seeds []model.Tag
+	for g, obs := range res.Observed {
+		if obs && s.exits[res.Locations[g]] {
+			seeds = append(seeds, g)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	children := make(map[model.Tag][]model.Tag)
+	for c, p := range res.Parents {
+		if p != model.NoTag {
+			children[p] = append(children[p], c)
+		}
+	}
+	set := make(map[model.Tag]bool)
+	var walk func(model.Tag)
+	walk = func(g model.Tag) {
+		if set[g] {
+			return
+		}
+		set[g] = true
+		for _, c := range children[g] {
+			walk(c)
+		}
+	}
+	for _, g := range seeds {
+		walk(g)
+	}
+	out := make([]model.Tag, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := levelOf(out[i]), levelOf(out[j])
+		if li != lj {
+			return li > lj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Close ends all open pairs at epoch now, producing the closing events of
+// a finished run.
+func (s *Substrate) Close(now model.Epoch) []event.Event {
+	evs := s.comp.Close(now)
+	s.stats.Events += int64(len(evs))
+	s.stats.EventBytes += event.StreamSize(evs)
+	return evs
+}

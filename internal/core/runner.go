@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"spire/internal/model"
+)
+
+// Runner drives a Substrate from a channel of observations — the natural
+// shape for wiring SPIRE between a live reader feed and downstream
+// consumers. The substrate itself is single-threaded (epochs are causally
+// dependent), so the runner owns it exclusively; concurrency lives at the
+// channel boundaries.
+type Runner struct {
+	sub *Substrate
+}
+
+// NewRunner wraps a substrate. The substrate must not be used elsewhere
+// while the runner is active.
+func NewRunner(sub *Substrate) *Runner { return &Runner{sub: sub} }
+
+// Run consumes observations until the input channel closes or the context
+// is cancelled, sending each epoch's output downstream. On clean input
+// exhaustion it emits a final EpochOutput carrying only the stream-closing
+// events (with Result == nil) before closing the output channel.
+//
+// The returned error is nil on a clean run, the context's error on
+// cancellation, or the first processing error otherwise. The output
+// channel is always closed before Run returns.
+func (r *Runner) Run(ctx context.Context, in <-chan *model.Observation, out chan<- *EpochOutput) error {
+	defer close(out)
+	var last model.Epoch
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case o, ok := <-in:
+			if !ok {
+				closing := r.sub.Close(last + 1)
+				if len(closing) > 0 {
+					final := &EpochOutput{Events: closing}
+					select {
+					case out <- final:
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				}
+				return nil
+			}
+			po, err := r.sub.ProcessEpoch(o)
+			if err != nil {
+				return fmt.Errorf("core: epoch %d: %w", o.Time, err)
+			}
+			last = o.Time
+			select {
+			case out <- po:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package dedup implements the low-level device data cleaning SPIRE
+// requires (paper Section II): deduplication of readings caused by
+// overlapping reader ranges. At each epoch it detects tags read by several
+// nearby readers and assigns each tag to the reader that read the tag most
+// recently; within a single epoch, ties are broken toward the reader that
+// has read the tag most recently in the past, then toward the lower reader
+// ID for determinism.
+package dedup
+
+import (
+	"sort"
+
+	"spire/internal/model"
+)
+
+// Deduplicator tracks per-tag reading history across epochs. It is not
+// safe for concurrent use.
+type Deduplicator struct {
+	// lastSeen records, per tag, the last reader that observed it and
+	// when.
+	lastReader map[model.Tag]model.ReaderID
+	lastAt     map[model.Tag]model.Epoch
+}
+
+// New creates an empty Deduplicator.
+func New() *Deduplicator {
+	return &Deduplicator{
+		lastReader: make(map[model.Tag]model.ReaderID),
+		lastAt:     make(map[model.Tag]model.Epoch),
+	}
+}
+
+// Clean resolves duplicates in one epoch's observation in place: each tag
+// is retained by exactly one reader. The input observation is modified and
+// returned for convenience.
+func (d *Deduplicator) Clean(o *model.Observation) *model.Observation {
+	// Collect the readers that saw each tag this epoch.
+	readersOf := make(map[model.Tag][]model.ReaderID)
+	for r, tags := range o.ByReader {
+		for _, g := range tags {
+			readersOf[g] = append(readersOf[g], r)
+		}
+	}
+	assigned := make(map[model.Tag]model.ReaderID, len(readersOf))
+	for g, readers := range readersOf {
+		if len(readers) == 1 {
+			assigned[g] = readers[0]
+			continue
+		}
+		sort.Slice(readers, func(i, j int) bool { return readers[i] < readers[j] })
+		best := readers[0]
+		if last, ok := d.lastReader[g]; ok {
+			for _, r := range readers {
+				if r == last {
+					// The tag sticks with the reader it was most recently
+					// assigned to — the paper's "read the tag most
+					// recently" rule applied across epochs.
+					best = r
+					break
+				}
+			}
+		}
+		assigned[g] = best
+	}
+	// Rebuild the per-reader sets, dropping duplicates. Empty sets are
+	// kept: an active reader that read nothing is still information for
+	// the caller.
+	for r, tags := range o.ByReader {
+		kept := tags[:0]
+		seen := make(map[model.Tag]bool, len(tags))
+		for _, g := range tags {
+			if assigned[g] == r && !seen[g] {
+				kept = append(kept, g)
+				seen[g] = true
+			}
+		}
+		o.ByReader[r] = kept
+	}
+	for g, r := range assigned {
+		d.lastReader[g] = r
+		d.lastAt[g] = o.Time
+	}
+	return o
+}
+
+// Forget drops a tag's history (e.g. after the object exits the world).
+func (d *Deduplicator) Forget(g model.Tag) {
+	delete(d.lastReader, g)
+	delete(d.lastAt, g)
+}
+
+// Len reports the number of tags currently tracked.
+func (d *Deduplicator) Len() int { return len(d.lastReader) }

@@ -1,0 +1,100 @@
+package dedup
+
+import (
+	"testing"
+
+	"spire/internal/model"
+)
+
+func TestCleanNoDuplicates(t *testing.T) {
+	d := New()
+	o := model.NewObservation(1)
+	o.Add(1, 10)
+	o.Add(2, 20)
+	d.Clean(o)
+	if o.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", o.Total())
+	}
+}
+
+func TestCleanAssignsToStickyReader(t *testing.T) {
+	d := New()
+	// Epoch 1: tag 10 read only by reader 2.
+	o1 := model.NewObservation(1)
+	o1.Add(2, 10)
+	d.Clean(o1)
+	// Epoch 2: read by overlapping readers 1 and 2 — sticks with 2.
+	o2 := model.NewObservation(2)
+	o2.Add(1, 10)
+	o2.Add(2, 10)
+	d.Clean(o2)
+	if len(o2.ByReader[2]) != 1 || len(o2.ByReader[1]) != 0 {
+		t.Errorf("tag must stick with its most recent reader: %v", o2.ByReader)
+	}
+}
+
+func TestCleanUnknownTagPrefersLowestReader(t *testing.T) {
+	d := New()
+	o := model.NewObservation(1)
+	o.Add(5, 10)
+	o.Add(3, 10)
+	d.Clean(o)
+	if len(o.ByReader[3]) != 1 || len(o.ByReader[5]) != 0 {
+		t.Errorf("fresh duplicate must deterministically pick the lowest reader: %v", o.ByReader)
+	}
+}
+
+func TestCleanSwitchesWhenOldReaderAbsent(t *testing.T) {
+	d := New()
+	o1 := model.NewObservation(1)
+	o1.Add(7, 10)
+	d.Clean(o1)
+	o2 := model.NewObservation(2)
+	o2.Add(2, 10)
+	o2.Add(4, 10)
+	d.Clean(o2)
+	if len(o2.ByReader[2]) != 1 {
+		t.Errorf("tag must move to a current reader when the old one no longer sees it: %v", o2.ByReader)
+	}
+	// And the new assignment becomes sticky.
+	o3 := model.NewObservation(3)
+	o3.Add(2, 10)
+	o3.Add(1, 10)
+	d.Clean(o3)
+	if len(o3.ByReader[2]) != 1 || len(o3.ByReader[1]) != 0 {
+		t.Errorf("assignment must be sticky: %v", o3.ByReader)
+	}
+}
+
+func TestCleanDropsInReaderDuplicates(t *testing.T) {
+	d := New()
+	o := model.NewObservation(1)
+	o.Add(1, 10)
+	o.Add(1, 10)
+	d.Clean(o)
+	if len(o.ByReader[1]) != 1 {
+		t.Errorf("duplicate readings within one reader must collapse: %v", o.ByReader[1])
+	}
+}
+
+func TestForget(t *testing.T) {
+	d := New()
+	o := model.NewObservation(1)
+	o.Add(9, 10)
+	d.Clean(o)
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	d.Forget(10)
+	if d.Len() != 0 {
+		t.Fatalf("Len after Forget = %d, want 0", d.Len())
+	}
+	// With history gone, assignment reverts to the deterministic default.
+	o2 := model.NewObservation(2)
+	o2.Add(9, 10)
+	o2.Add(1, 10)
+	d.Clean(o2)
+	if len(o2.ByReader[1]) != 1 {
+		t.Errorf("forgotten tag must pick lowest reader: %v", o2.ByReader)
+	}
+}

@@ -1,0 +1,158 @@
+// Package epc encodes and decodes the 64-bit SGTIN-style tag identifiers
+// used throughout SPIRE.
+//
+// The EPCglobal tag data standard (the paper's reference [8]) requires that
+// an object's packaging level — item, case, or pallet — be recoverable from
+// its tag ID. SPIRE's data-capture module exploits this to place graph
+// nodes into layers without any side information. This package provides a
+// compact, reversible encoding:
+//
+//	bits 62..63  packaging level (2 bits)
+//	bits 40..61  company prefix   (22 bits)
+//	bits 20..39  item reference   (20 bits)
+//	bits  0..19  serial number    (20 bits)
+//
+// The all-zero tag is reserved (model.NoTag), so Encode never produces it:
+// a serial of zero is stored as-is but the company prefix is required to be
+// non-zero.
+package epc
+
+import (
+	"fmt"
+
+	"spire/internal/model"
+)
+
+// Field widths and shifts of the packed layout.
+const (
+	levelBits   = 2
+	companyBits = 22
+	itemRefBits = 20
+	serialBits  = 20
+
+	serialShift  = 0
+	itemRefShift = serialShift + serialBits
+	companyShift = itemRefShift + itemRefBits
+	levelShift   = companyShift + companyBits
+
+	// MaxCompany, MaxItemRef, and MaxSerial are the largest encodable
+	// field values.
+	MaxCompany = 1<<companyBits - 1
+	MaxItemRef = 1<<itemRefBits - 1
+	MaxSerial  = 1<<serialBits - 1
+)
+
+// Identity is the decoded form of a tag.
+type Identity struct {
+	Level   model.Level
+	Company uint32
+	ItemRef uint32
+	Serial  uint32
+}
+
+// Encode packs an identity into a tag. The company prefix must be non-zero
+// (the zero tag is reserved) and every field must fit its width.
+func Encode(id Identity) (model.Tag, error) {
+	if !id.Level.Valid() {
+		return model.NoTag, fmt.Errorf("epc: invalid level %d", id.Level)
+	}
+	if id.Company == 0 {
+		return model.NoTag, fmt.Errorf("epc: company prefix must be non-zero")
+	}
+	if id.Company > MaxCompany {
+		return model.NoTag, fmt.Errorf("epc: company prefix %d exceeds %d", id.Company, MaxCompany)
+	}
+	if id.ItemRef > MaxItemRef {
+		return model.NoTag, fmt.Errorf("epc: item reference %d exceeds %d", id.ItemRef, MaxItemRef)
+	}
+	if id.Serial > MaxSerial {
+		return model.NoTag, fmt.Errorf("epc: serial %d exceeds %d", id.Serial, MaxSerial)
+	}
+	t := uint64(id.Level)<<levelShift |
+		uint64(id.Company)<<companyShift |
+		uint64(id.ItemRef)<<itemRefShift |
+		uint64(id.Serial)<<serialShift
+	return model.Tag(t), nil
+}
+
+// MustEncode is Encode for statically valid identities; it panics on error.
+func MustEncode(id Identity) model.Tag {
+	t, err := Encode(id)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Decode unpacks a tag into its identity. The zero tag is rejected.
+func Decode(t model.Tag) (Identity, error) {
+	if t == model.NoTag {
+		return Identity{}, fmt.Errorf("epc: cannot decode the zero tag")
+	}
+	id := Identity{
+		Level:   model.Level(uint64(t) >> levelShift),
+		Company: uint32(uint64(t) >> companyShift & MaxCompany),
+		ItemRef: uint32(uint64(t) >> itemRefShift & MaxItemRef),
+		Serial:  uint32(uint64(t) >> serialShift & MaxSerial),
+	}
+	if !id.Level.Valid() {
+		return Identity{}, fmt.Errorf("epc: tag %d carries invalid level %d", t, id.Level)
+	}
+	if id.Company == 0 {
+		return Identity{}, fmt.Errorf("epc: tag %d carries a zero company prefix", t)
+	}
+	return id, nil
+}
+
+// LevelOf extracts just the packaging level, which is all the graph layers
+// need. Tags with a corrupt level field report ok=false.
+func LevelOf(t model.Tag) (model.Level, bool) {
+	l := model.Level(uint64(t) >> levelShift)
+	return l, l.Valid() && t != model.NoTag
+}
+
+// String renders an identity in a URN-like form for logs and debugging.
+func (id Identity) String() string {
+	return fmt.Sprintf("epc:%s:%d.%d.%d", id.Level, id.Company, id.ItemRef, id.Serial)
+}
+
+// Sequencer hands out fresh tags of each level with a fixed company
+// prefix. The simulator uses one sequencer per run so tag streams are
+// deterministic under a fixed seed.
+type Sequencer struct {
+	company uint32
+	itemRef [model.NumLevels]uint32
+	serial  [model.NumLevels]uint32
+}
+
+// NewSequencer returns a sequencer minting tags under the given non-zero
+// company prefix.
+func NewSequencer(company uint32) (*Sequencer, error) {
+	if company == 0 || company > MaxCompany {
+		return nil, fmt.Errorf("epc: bad company prefix %d", company)
+	}
+	return &Sequencer{company: company}, nil
+}
+
+// Next mints a fresh tag at the given packaging level.
+func (s *Sequencer) Next(lvl model.Level) (model.Tag, error) {
+	if !lvl.Valid() {
+		return model.NoTag, fmt.Errorf("epc: invalid level %d", lvl)
+	}
+	i := int(lvl)
+	if s.serial[i] == MaxSerial {
+		s.serial[i] = 0
+		if s.itemRef[i] == MaxItemRef {
+			return model.NoTag, fmt.Errorf("epc: tag space exhausted for level %s", lvl)
+		}
+		s.itemRef[i]++
+	} else {
+		s.serial[i]++
+	}
+	return Encode(Identity{
+		Level:   lvl,
+		Company: s.company,
+		ItemRef: s.itemRef[i],
+		Serial:  s.serial[i],
+	})
+}

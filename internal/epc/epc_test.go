@@ -1,0 +1,172 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spire/internal/model"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Identity{
+		{Level: model.LevelItem, Company: 1, ItemRef: 0, Serial: 0},
+		{Level: model.LevelCase, Company: 12345, ItemRef: 77, Serial: 99},
+		{Level: model.LevelPallet, Company: MaxCompany, ItemRef: MaxItemRef, Serial: MaxSerial},
+	}
+	for _, id := range cases {
+		tag, err := Encode(id)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", id, err)
+		}
+		got, err := Decode(tag)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", tag, err)
+		}
+		if got != id {
+			t.Errorf("round trip: got %v, want %v", got, id)
+		}
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	bad := []Identity{
+		{Level: model.Level(7), Company: 1},
+		{Level: model.LevelItem, Company: 0},
+		{Level: model.LevelItem, Company: MaxCompany + 1},
+		{Level: model.LevelItem, Company: 1, ItemRef: MaxItemRef + 1},
+		{Level: model.LevelItem, Company: 1, Serial: MaxSerial + 1},
+	}
+	for _, id := range bad {
+		if _, err := Encode(id); err == nil {
+			t.Errorf("Encode(%v) should fail", id)
+		}
+	}
+}
+
+func TestDecodeRejectsZeroAndCorrupt(t *testing.T) {
+	if _, err := Decode(model.NoTag); err == nil {
+		t.Error("Decode(NoTag) should fail")
+	}
+	// Level bits 11 = 3 is not a valid packaging level.
+	corrupt := model.Tag(uint64(3)<<levelShift | uint64(1)<<companyShift)
+	if _, err := Decode(corrupt); err == nil {
+		t.Error("Decode of corrupt level should fail")
+	}
+	// Zero company prefix.
+	noCompany := model.Tag(uint64(model.LevelCase) << levelShift)
+	if _, err := Decode(noCompany); err == nil {
+		t.Error("Decode of zero company prefix should fail")
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	tag := MustEncode(Identity{Level: model.LevelPallet, Company: 42, Serial: 7})
+	lvl, ok := LevelOf(tag)
+	if !ok || lvl != model.LevelPallet {
+		t.Errorf("LevelOf = %v,%v; want pallet,true", lvl, ok)
+	}
+	if _, ok := LevelOf(model.NoTag); ok {
+		t.Error("LevelOf(NoTag) must report !ok")
+	}
+	if _, ok := LevelOf(model.Tag(uint64(3) << levelShift)); ok {
+		t.Error("LevelOf of corrupt level must report !ok")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode of invalid identity must panic")
+		}
+	}()
+	MustEncode(Identity{Level: model.LevelItem, Company: 0})
+}
+
+func TestIdentityString(t *testing.T) {
+	id := Identity{Level: model.LevelCase, Company: 7, ItemRef: 8, Serial: 9}
+	if got, want := id.String(), "epc:case:7.8.9"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSequencerDistinctAndTyped(t *testing.T) {
+	s, err := NewSequencer(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[model.Tag]bool)
+	for i := 0; i < 1000; i++ {
+		for _, lvl := range []model.Level{model.LevelItem, model.LevelCase, model.LevelPallet} {
+			tag, err := s.Next(lvl)
+			if err != nil {
+				t.Fatalf("Next(%v): %v", lvl, err)
+			}
+			if seen[tag] {
+				t.Fatalf("duplicate tag %d", tag)
+			}
+			seen[tag] = true
+			got, ok := LevelOf(tag)
+			if !ok || got != lvl {
+				t.Fatalf("tag level = %v, want %v", got, lvl)
+			}
+		}
+	}
+}
+
+func TestSequencerRollsItemRef(t *testing.T) {
+	s, err := NewSequencer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.serial[model.LevelItem] = MaxSerial
+	tag, err := s.Next(model.LevelItem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Decode(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.ItemRef != 1 || id.Serial != 0 {
+		t.Errorf("rollover produced %v, want itemRef=1 serial=0", id)
+	}
+	s.serial[model.LevelItem] = MaxSerial
+	s.itemRef[model.LevelItem] = MaxItemRef
+	if _, err := s.Next(model.LevelItem); err == nil {
+		t.Error("exhausted sequencer must error")
+	}
+}
+
+func TestSequencerValidation(t *testing.T) {
+	if _, err := NewSequencer(0); err == nil {
+		t.Error("NewSequencer(0) must fail")
+	}
+	if _, err := NewSequencer(MaxCompany + 1); err == nil {
+		t.Error("NewSequencer(overflow) must fail")
+	}
+	s, _ := NewSequencer(1)
+	if _, err := s.Next(model.Level(9)); err == nil {
+		t.Error("Next with invalid level must fail")
+	}
+}
+
+// Property: every encodable identity round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(lvl uint8, company, itemRef, serial uint32) bool {
+		id := Identity{
+			Level:   model.Level(lvl % 3),
+			Company: company%MaxCompany + 1,
+			ItemRef: itemRef % (MaxItemRef + 1),
+			Serial:  serial % (MaxSerial + 1),
+		}
+		tag, err := Encode(id)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(tag)
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

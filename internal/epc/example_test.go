@@ -1,0 +1,49 @@
+package epc_test
+
+import (
+	"fmt"
+
+	"spire/internal/epc"
+	"spire/internal/model"
+)
+
+func ExampleEncode() {
+	tag, err := epc.Encode(epc.Identity{
+		Level:   model.LevelCase,
+		Company: 4711,
+		ItemRef: 12,
+		Serial:  345,
+	})
+	if err != nil {
+		panic(err)
+	}
+	id, err := epc.Decode(tag)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(id)
+	lvl, _ := epc.LevelOf(tag)
+	fmt.Println("layer:", lvl)
+	// Output:
+	// epc:case:4711.12.345
+	// layer: case
+}
+
+func ExampleSequencer() {
+	seq, err := epc.NewSequencer(99)
+	if err != nil {
+		panic(err)
+	}
+	for _, lvl := range []model.Level{model.LevelPallet, model.LevelCase, model.LevelItem} {
+		tag, err := seq.Next(lvl)
+		if err != nil {
+			panic(err)
+		}
+		id, _ := epc.Decode(tag)
+		fmt.Println(id)
+	}
+	// Output:
+	// epc:pallet:99.0.1
+	// epc:case:99.0.1
+	// epc:item:99.0.1
+}

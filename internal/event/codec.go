@@ -1,0 +1,214 @@
+package event
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"spire/internal/model"
+)
+
+// Wire sizes in bytes for each message kind. Location payloads are 4-byte
+// location IDs; containment payloads are 8-byte tags. Start messages omit
+// Ve (it is implicitly ∞) and Missing omits Ve (implicitly Vs), which is
+// why start and missing records are shorter than end records.
+const (
+	headerSize = 1 + 8 // kind + object tag
+
+	SizeStartLocation    = headerSize + 4 + 8     // loc + Vs
+	SizeEndLocation      = headerSize + 4 + 8 + 8 // loc + Vs + Ve
+	SizeStartContainment = headerSize + 8 + 8     // container + Vs
+	SizeEndContainment   = headerSize + 8 + 8 + 8 // container + Vs + Ve
+	SizeMissing          = headerSize + 4 + 8     // loc + Vs
+)
+
+// ErrCorrupt reports a malformed event stream.
+var ErrCorrupt = errors.New("event: corrupt event stream")
+
+// WireSize returns the encoded size in bytes of e.
+func WireSize(e Event) int {
+	switch e.Kind {
+	case StartLocation:
+		return SizeStartLocation
+	case EndLocation:
+		return SizeEndLocation
+	case StartContainment:
+		return SizeStartContainment
+	case EndContainment:
+		return SizeEndContainment
+	case Missing:
+		return SizeMissing
+	default:
+		return 0
+	}
+}
+
+// Append appends the wire form of e to dst.
+func Append(dst []byte, e Event) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return dst, err
+	}
+	dst = append(dst, byte(e.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.Object))
+	switch e.Kind {
+	case StartLocation:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.Location))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Vs))
+	case EndLocation:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.Location))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Vs))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Ve))
+	case StartContainment:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Container))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Vs))
+	case EndContainment:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Container))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Vs))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Ve))
+	case Missing:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.Location))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Vs))
+	}
+	return dst, nil
+}
+
+// Decode decodes one event from the front of b, returning the event and
+// the number of bytes consumed.
+func Decode(b []byte) (Event, int, error) {
+	if len(b) < headerSize {
+		return Event{}, 0, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	e := Event{
+		Kind:   Kind(b[0]),
+		Object: model.Tag(binary.BigEndian.Uint64(b[1:9])),
+	}
+	n := WireSize(e)
+	if n == 0 {
+		return Event{}, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, b[0])
+	}
+	if len(b) < n {
+		return Event{}, 0, fmt.Errorf("%w: %d bytes for %s, want %d", ErrCorrupt, len(b), e.Kind, n)
+	}
+	p := b[headerSize:]
+	switch e.Kind {
+	case StartLocation:
+		e.Location = model.LocationID(int32(binary.BigEndian.Uint32(p[0:4])))
+		e.Vs = model.Epoch(binary.BigEndian.Uint64(p[4:12]))
+		e.Ve = model.InfiniteEpoch
+	case EndLocation:
+		e.Location = model.LocationID(int32(binary.BigEndian.Uint32(p[0:4])))
+		e.Vs = model.Epoch(binary.BigEndian.Uint64(p[4:12]))
+		e.Ve = model.Epoch(binary.BigEndian.Uint64(p[12:20]))
+	case StartContainment:
+		e.Container = model.Tag(binary.BigEndian.Uint64(p[0:8]))
+		e.Vs = model.Epoch(binary.BigEndian.Uint64(p[8:16]))
+		e.Ve = model.InfiniteEpoch
+	case EndContainment:
+		e.Container = model.Tag(binary.BigEndian.Uint64(p[0:8]))
+		e.Vs = model.Epoch(binary.BigEndian.Uint64(p[8:16]))
+		e.Ve = model.Epoch(binary.BigEndian.Uint64(p[16:24]))
+	case Missing:
+		e.Location = model.LocationID(int32(binary.BigEndian.Uint32(p[0:4])))
+		e.Vs = model.Epoch(binary.BigEndian.Uint64(p[4:12]))
+		e.Ve = e.Vs
+	}
+	if err := e.Validate(); err != nil {
+		return Event{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return e, n, nil
+}
+
+// Writer streams events to an io.Writer, tracking total wire bytes.
+type Writer struct {
+	w     *bufio.Writer
+	buf   []byte
+	bytes int64
+	count int64
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one event.
+func (w *Writer) Write(e Event) error {
+	b, err := Append(w.buf[:0], e)
+	if err != nil {
+		return err
+	}
+	w.buf = b
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.bytes += int64(len(b))
+	w.count++
+	return nil
+}
+
+// Flush flushes buffered bytes to the destination.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Bytes returns the total wire bytes written.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// Count returns the number of events written.
+func (w *Writer) Count() int64 { return w.count }
+
+// Reader decodes an event stream.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r), buf: make([]byte, SizeEndContainment)}
+}
+
+// Read decodes the next event; io.EOF signals a clean end of stream.
+func (r *Reader) Read() (Event, error) {
+	hdr := r.buf[:headerSize]
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n := WireSize(Event{Kind: Kind(hdr[0])})
+	if n == 0 {
+		return Event{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, hdr[0])
+	}
+	if _, err := io.ReadFull(r.r, r.buf[headerSize:n]); err != nil {
+		return Event{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	e, _, err := Decode(r.buf[:n])
+	return e, err
+}
+
+// ReadAll decodes the remainder of the stream.
+func (r *Reader) ReadAll() ([]Event, error) {
+	var out []Event
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// StreamSize returns the total wire size of a slice of events without
+// encoding them.
+func StreamSize(events []Event) int64 {
+	var n int64
+	for _, e := range events {
+		n += int64(WireSize(e))
+	}
+	return n
+}

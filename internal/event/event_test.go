@@ -1,0 +1,296 @@
+package event
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spire/internal/model"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		StartLocation:    "StartLocation",
+		EndLocation:      "EndLocation",
+		StartContainment: "StartContainment",
+		EndContainment:   "EndContainment",
+		Missing:          "Missing",
+		Kind(42):         "Kind(42)",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, s)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !StartLocation.Location() || !Missing.Location() || StartContainment.Location() {
+		t.Error("Location() predicate wrong")
+	}
+	if !StartContainment.Containment() || !EndContainment.Containment() || EndLocation.Containment() {
+		t.Error("Containment() predicate wrong")
+	}
+	if Kind(0).Valid() || Kind(6).Valid() || !Missing.Valid() {
+		t.Error("Valid() predicate wrong")
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	events := []Event{
+		NewStartLocation(1, 2, 10),
+		NewEndLocation(1, 2, 10, 20),
+		NewStartContainment(1, 9, 10),
+		NewEndContainment(1, 9, 10, 20),
+		NewMissing(1, 2, 30),
+	}
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			t.Errorf("%v.Validate() = %v", e, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Event{
+		{Kind: Kind(0), Object: 1},
+		{Kind: StartLocation, Object: model.NoTag, Ve: model.InfiniteEpoch},
+		{Kind: StartLocation, Object: 1, Vs: 5, Ve: 9}, // start must have Ve=inf
+		{Kind: EndLocation, Object: 1, Vs: 9, Ve: 5},   // inverted interval
+		{Kind: Missing, Object: 1, Vs: 5, Ve: 6},       // missing must have Ve=Vs
+		{Kind: StartContainment, Object: 1, Container: model.NoTag, Ve: model.InfiniteEpoch},
+		{Kind: StartContainment, Object: 1, Container: 1, Ve: model.InfiniteEpoch}, // self
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", e)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	s := NewStartLocation(5, 3, 10).String()
+	if !strings.Contains(s, "StartLocation") || !strings.Contains(s, "inf") {
+		t.Errorf("String() = %q", s)
+	}
+	c := NewEndContainment(5, 6, 1, 2).String()
+	if !strings.Contains(c, "EndContainment(5, 6, 1, 2)") {
+		t.Errorf("String() = %q", c)
+	}
+}
+
+func allKindsSample() []Event {
+	return []Event{
+		NewStartLocation(7, 1, 0),
+		NewStartContainment(7, 8, 0),
+		NewEndLocation(7, 1, 0, 5),
+		NewStartLocation(7, 2, 5),
+		NewEndLocation(7, 2, 5, 9),
+		NewMissing(7, 2, 9),
+		NewEndContainment(7, 8, 0, 12),
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := allKindsSample()
+	for _, e := range want {
+		if err := w.Write(e); err != nil {
+			t.Fatalf("Write(%v): %v", e, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != StreamSize(want) {
+		t.Errorf("Writer.Bytes = %d, StreamSize = %d", w.Bytes(), StreamSize(want))
+	}
+	if w.Count() != int64(len(want)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(want))
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want int
+	}{
+		{NewStartLocation(1, 1, 0), SizeStartLocation},
+		{NewEndLocation(1, 1, 0, 1), SizeEndLocation},
+		{NewStartContainment(1, 2, 0), SizeStartContainment},
+		{NewEndContainment(1, 2, 0, 1), SizeEndContainment},
+		{NewMissing(1, 1, 0), SizeMissing},
+	}
+	for _, c := range cases {
+		b, err := Append(nil, c.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != c.want || WireSize(c.e) != c.want {
+			t.Errorf("%s: encoded %d bytes, WireSize %d, want %d", c.e.Kind, len(b), WireSize(c.e), c.want)
+		}
+	}
+	if WireSize(Event{Kind: Kind(99)}) != 0 {
+		t.Error("WireSize of unknown kind must be 0")
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	if _, err := Append(nil, Event{Kind: StartLocation}); err == nil {
+		t.Error("Append must validate")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) must fail")
+	}
+	if _, _, err := Decode([]byte{99, 0, 0, 0, 0, 0, 0, 0, 1}); err == nil {
+		t.Error("Decode of unknown kind must fail")
+	}
+	b, err := Append(nil, NewEndLocation(1, 1, 0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Error("Decode of truncated record must fail")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+	b, _ := Append(nil, NewMissing(1, 1, 5))
+	r = NewReader(bytes.NewReader(b[:len(b)-2]))
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("truncated stream: got %v, want corruption", err)
+	}
+	r = NewReader(bytes.NewReader([]byte{200}))
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("unknown kind: got %v, want corruption", err)
+	}
+}
+
+func TestCheckWellFormedAccepts(t *testing.T) {
+	if err := CheckWellFormed(allKindsSample(), true); err != nil {
+		t.Errorf("well-formed sample rejected: %v", err)
+	}
+	// A containment pair may span multiple location pairs and enclose a
+	// Missing event — the nesting flexibility the paper calls out.
+	if err := CheckWellFormed(nil, true); err != nil {
+		t.Errorf("empty stream must be well-formed: %v", err)
+	}
+}
+
+func TestCheckWellFormedRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+		closed bool
+	}{
+		{"end without start", []Event{NewEndLocation(1, 1, 0, 5)}, false},
+		{"double start", []Event{NewStartLocation(1, 1, 0), NewStartLocation(1, 2, 3)}, false},
+		{"mismatched end location", []Event{NewStartLocation(1, 1, 0), NewEndLocation(1, 2, 0, 5)}, false},
+		{"mismatched end vs", []Event{NewStartLocation(1, 1, 0), NewEndLocation(1, 1, 1, 5)}, false},
+		{"containment end without start", []Event{NewEndContainment(1, 2, 0, 5)}, false},
+		{"double containment start", []Event{NewStartContainment(1, 2, 0), NewStartContainment(1, 3, 1)}, false},
+		{"mismatched containment end", []Event{NewStartContainment(1, 2, 0), NewEndContainment(1, 3, 0, 5)}, false},
+		{"missing inside open location", []Event{NewStartLocation(1, 1, 0), NewMissing(1, 1, 3)}, false},
+		{"time goes backwards", []Event{NewStartLocation(1, 1, 5), NewEndLocation(1, 1, 5, 7), NewStartLocation(1, 2, 3)}, false},
+		{"unclosed location at end", []Event{NewStartLocation(1, 1, 0)}, true},
+		{"unclosed containment at end", []Event{NewStartContainment(1, 2, 0)}, true},
+		{"invalid event", []Event{{Kind: StartLocation, Object: 1, Vs: 0, Ve: 3}}, false},
+	}
+	for _, c := range cases {
+		if err := CheckWellFormed(c.events, c.closed); err == nil {
+			t.Errorf("%s: CheckWellFormed should fail", c.name)
+		}
+	}
+}
+
+func TestCheckWellFormedOpenTailAllowed(t *testing.T) {
+	events := []Event{NewStartLocation(1, 1, 0), NewStartContainment(1, 2, 0)}
+	if err := CheckWellFormed(events, false); err != nil {
+		t.Errorf("open tail with closed=false must pass: %v", err)
+	}
+}
+
+func TestSplitStreams(t *testing.T) {
+	loc, cont := SplitStreams(allKindsSample())
+	if len(loc) != 5 || len(cont) != 2 {
+		t.Fatalf("split = %d loc, %d cont; want 5, 2", len(loc), len(cont))
+	}
+	for _, e := range loc {
+		if e.Kind.Containment() {
+			t.Errorf("containment event %v in location stream", e)
+		}
+	}
+	for _, e := range cont {
+		if !e.Kind.Containment() {
+			t.Errorf("location event %v in containment stream", e)
+		}
+	}
+	// Each substream remains well-formed on its own.
+	if err := CheckWellFormed(loc, false); err != nil {
+		t.Errorf("location substream: %v", err)
+	}
+	if err := CheckWellFormed(cont, false); err != nil {
+		t.Errorf("containment substream: %v", err)
+	}
+}
+
+// Property: any valid event survives an encode/decode round trip.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(kind uint8, obj, container uint64, loc int32, vs uint32, dur uint16) bool {
+		k := Kind(kind%5) + StartLocation
+		e := Event{
+			Kind:     k,
+			Object:   model.Tag(obj | 1), // non-zero
+			Vs:       model.Epoch(vs),
+			Location: model.LocationID(loc),
+		}
+		switch k {
+		case StartLocation, StartContainment:
+			e.Ve = model.InfiniteEpoch
+		case Missing:
+			e.Ve = e.Vs
+		default:
+			e.Ve = e.Vs + model.Epoch(dur)
+		}
+		if k.Containment() {
+			e.Location = 0
+			e.Container = model.Tag(container | 1)
+			if e.Container == e.Object {
+				e.Container = e.Object + 1
+			}
+		} else {
+			e.Container = model.NoTag
+		}
+		b, err := Append(nil, e)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(b)
+		return err == nil && n == len(b) && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package event_test
+
+import (
+	"fmt"
+
+	"spire/internal/event"
+)
+
+func ExampleCheckWellFormed() {
+	stream := []event.Event{
+		event.NewStartContainment(4, 2, 1), // item 4 into case 2
+		event.NewStartLocation(4, 0, 1),
+		event.NewEndLocation(4, 0, 1, 9), // moves at t=9...
+		event.NewStartLocation(4, 1, 9),
+		event.NewEndLocation(4, 1, 9, 20), // ...vanishes at t=20
+		event.NewMissing(4, 1, 20),
+		event.NewEndContainment(4, 2, 1, 30),
+	}
+	fmt.Println("well-formed:", event.CheckWellFormed(stream, true) == nil)
+
+	bad := []event.Event{
+		event.NewStartLocation(4, 0, 1),
+		event.NewMissing(4, 0, 5), // inside an open location pair
+	}
+	fmt.Println("bad stream:", event.CheckWellFormed(bad, false) != nil)
+	// Output:
+	// well-formed: true
+	// bad stream: true
+}
+
+func ExampleSplitStreams() {
+	stream := []event.Event{
+		event.NewStartContainment(4, 2, 1),
+		event.NewStartLocation(2, 0, 1),
+		event.NewEndContainment(4, 2, 1, 7),
+	}
+	loc, cont := event.SplitStreams(stream)
+	fmt.Println("location events:", len(loc))
+	fmt.Println("containment events:", len(cont))
+	// Output:
+	// location events: 1
+	// containment events: 2
+}

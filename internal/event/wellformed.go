@@ -1,0 +1,100 @@
+package event
+
+import (
+	"fmt"
+
+	"spire/internal/model"
+)
+
+// CheckWellFormed verifies the paper's well-formedness property over a
+// complete stream: for every object, start-location (start-containment)
+// messages are matched by end messages with the same payload and interval
+// start, at most one location pair and one containment pair is open at any
+// point, and Missing messages appear outside any open location pair.
+//
+// The stream must be in emission order. A stream may end with pairs still
+// open (the run was cut off); pass closed=true to additionally require
+// that everything has been closed.
+func CheckWellFormed(events []Event, closed bool) error {
+	type open struct {
+		loc       model.LocationID
+		container model.Tag
+		vs        model.Epoch
+	}
+	openLoc := make(map[model.Tag]open)
+	openCont := make(map[model.Tag]open)
+	var last model.Epoch = model.EpochNone
+
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %v", i, err)
+		}
+		// End messages are emitted when the interval closes, so their
+		// emission time is Ve; start and missing messages are emitted at Vs.
+		emitted := e.Vs
+		if e.Kind == EndLocation || e.Kind == EndContainment {
+			emitted = e.Ve
+		}
+		if emitted < last {
+			return fmt.Errorf("event %d: %v emitted at %d before previous event time %d", i, e, emitted, last)
+		}
+		last = emitted
+		switch e.Kind {
+		case StartLocation:
+			if o, ok := openLoc[e.Object]; ok {
+				return fmt.Errorf("event %d: %v while location pair (%v since %d) still open", i, e, o.loc, o.vs)
+			}
+			openLoc[e.Object] = open{loc: e.Location, vs: e.Vs}
+		case EndLocation:
+			o, ok := openLoc[e.Object]
+			if !ok {
+				return fmt.Errorf("event %d: %v without matching start", i, e)
+			}
+			if o.loc != e.Location || o.vs != e.Vs {
+				return fmt.Errorf("event %d: %v does not match open pair (%v since %d)", i, e, o.loc, o.vs)
+			}
+			delete(openLoc, e.Object)
+		case StartContainment:
+			if o, ok := openCont[e.Object]; ok {
+				return fmt.Errorf("event %d: %v while containment pair (%d since %d) still open", i, e, o.container, o.vs)
+			}
+			openCont[e.Object] = open{container: e.Container, vs: e.Vs}
+		case EndContainment:
+			o, ok := openCont[e.Object]
+			if !ok {
+				return fmt.Errorf("event %d: %v without matching start", i, e)
+			}
+			if o.container != e.Container || o.vs != e.Vs {
+				return fmt.Errorf("event %d: %v does not match open pair (%d since %d)", i, e, o.container, o.vs)
+			}
+			delete(openCont, e.Object)
+		case Missing:
+			if o, ok := openLoc[e.Object]; ok {
+				return fmt.Errorf("event %d: %v inside open location pair (%v since %d)", i, e, o.loc, o.vs)
+			}
+		}
+	}
+	if closed {
+		for obj, o := range openLoc {
+			return fmt.Errorf("stream ended with open location pair for %d (%v since %d)", obj, o.loc, o.vs)
+		}
+		for obj, o := range openCont {
+			return fmt.Errorf("stream ended with open containment pair for %d (%d since %d)", obj, o.container, o.vs)
+		}
+	}
+	return nil
+}
+
+// SplitStreams separates a mixed stream into its independent location and
+// containment sub-streams — the property (i) of range compression the paper
+// highlights: either stream can be suppressed without affecting the other.
+func SplitStreams(events []Event) (location, containment []Event) {
+	for _, e := range events {
+		if e.Kind.Containment() {
+			containment = append(containment, e)
+		} else {
+			location = append(location, e)
+		}
+	}
+	return location, containment
+}

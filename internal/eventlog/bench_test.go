@@ -1,0 +1,49 @@
+package eventlog
+
+import (
+	"testing"
+
+	"spire/internal/event"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	evs := sampleEvents(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(evs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(event.StreamSize(evs)) + int64(len(evs)*headerSize))
+}
+
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := l.Append(sampleEvents(64)...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := Replay(dir, func(event.Event) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 200*64 {
+			b.Fatalf("replayed %d", n)
+		}
+	}
+}

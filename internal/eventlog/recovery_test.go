@@ -1,0 +1,112 @@
+package eventlog
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spire/internal/event"
+)
+
+// TestTornHeaderRecovered: a tear inside the record header (not just the
+// payload) is also recovered.
+func TestTornHeaderRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleEvents(4)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append 3 bytes of a half-written header.
+	if err := os.WriteFile(path, append(data, 0x00, 0x10, 0xAB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, dir); len(got) != 4 {
+		t.Fatalf("replayed %d, want 4", len(got))
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Append(sampleEvents(1)...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroLengthRecordTreatedAsTear: an all-zero tail (preallocated or
+// zero-filled blocks after a crash) reads as a torn write.
+func TestZeroLengthRecordTreatedAsTear(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleEvents(2)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(0))
+	data, _ := os.ReadFile(path)
+	zeros := make([]byte, 32)
+	if err := os.WriteFile(path, append(data, zeros...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, dir); len(got) != 2 {
+		t.Fatalf("replayed %d, want 2", len(got))
+	}
+}
+
+// TestCorruptLengthMidSegment: a record length pointing past valid data
+// mid-log is corruption, not a tear.
+func TestCorruptLengthMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{MaxSegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleEvents(20)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the length field of the first record of segment 0.
+	path := filepath.Join(dir, segName(0))
+	data, _ := os.ReadFile(path)
+	binary.BigEndian.PutUint16(data[0:2], 9999)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(dir, func(event.Event) error { return nil }); err == nil {
+		t.Fatal("corrupt length mid-log must fail replay")
+	}
+}
+
+// TestOpenOnFileError: opening a log rooted at a file path fails cleanly.
+func TestOpenOnFileError(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file, Options{}); err == nil {
+		t.Fatal("Open on a regular file must fail")
+	}
+	if err := Replay(file, nil); err == nil {
+		t.Fatal("Replay on a regular file must fail")
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:        "t",
+		Title:     "demo",
+		RowHeader: "x",
+		Columns:   []string{"a", "b"},
+		Notes:     []string{"hello"},
+	}
+	tbl.AddRow("r1", 1, 2)
+	s := tbl.String()
+	for _, want := range []string{"demo", "r1", "hello", "1.0000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if v, ok := tbl.Cell("r1", "b"); !ok || v != 2 {
+		t.Errorf("Cell = %v,%v; want 2,true", v, ok)
+	}
+	if _, ok := tbl.Cell("r1", "zzz"); ok {
+		t.Error("Cell with unknown column must report !ok")
+	}
+	if _, ok := tbl.Cell("zzz", "a"); ok {
+		t.Error("Cell with unknown row must report !ok")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range IDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("registry missing %q", id)
+		}
+	}
+	if len(reg) != len(IDs()) {
+		t.Errorf("registry has %d entries, IDs lists %d", len(reg), len(IDs()))
+	}
+}
+
+// TestFig9dShape runs the read-rate sensitivity experiment at quick scale
+// and asserts the paper's qualitative findings.
+func TestFig9dShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	tbl, err := Fig9d(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	hi, _ := tbl.Cell("1.00", "location")
+	lo, _ := tbl.Cell("0.50", "location")
+	if hi >= lo {
+		t.Errorf("location error must grow as read rate drops: %.4f@1.0 vs %.4f@0.5", hi, lo)
+	}
+	contHi, _ := tbl.Cell("0.85", "containment")
+	if contHi > 0.10 {
+		t.Errorf("containment error at 0.85 = %.4f, paper reports ≤~10%%", contHi)
+	}
+	locHi, _ := tbl.Cell("0.85", "location")
+	if locHi > 0.10 {
+		t.Errorf("location error at 0.85 = %.4f, paper reports ≤~10%%", locHi)
+	}
+	contLo, _ := tbl.Cell("0.50", "containment")
+	if contLo <= contHi {
+		t.Errorf("containment error must degrade at low read rates: %.4f@0.5 vs %.4f@0.85", contLo, contHi)
+	}
+}
+
+// TestFig9aShape asserts the β extremes behave as the paper reports.
+func TestFig9aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	tbl, err := Fig9a(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	noisy := tbl.Columns[0] // fastest shelf readers = most co-location noise
+	low, _ := tbl.Cell("0.00", noisy)
+	high, _ := tbl.Cell("1.00", noisy)
+	if high <= low {
+		t.Errorf("β=1 (%v) must degrade containment vs β=0 (%v) under noisy shelf readers", high, low)
+	}
+	adaptive, _ := tbl.Cell("adaptive", noisy)
+	if adaptive >= high {
+		t.Errorf("adaptive β (%v) must beat the worst fixed setting (%v)", adaptive, high)
+	}
+}
+
+// TestFig11Shape asserts the headline comparisons of Expts 7-8.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	a, b, c, err := Fig11(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + a.String() + "\n" + b.String() + "\n" + c.String())
+	for _, rate := range []string{"0.70", "0.85", "1.00"} {
+		sp, _ := a.Cell(rate, "SPIRE")
+		sm, _ := a.Cell(rate, "SMURF")
+		if sp <= sm {
+			t.Errorf("rate %s: SPIRE F (%v) must beat SMURF (%v)", rate, sp, sm)
+		}
+	}
+	for _, rate := range []string{"0.85", "1.00"} {
+		l1, _ := b.Cell(rate, "SPIRE L1")
+		l2, _ := b.Cell(rate, "SPIRE L2")
+		if l2 >= l1 {
+			t.Errorf("rate %s: level-2 ratio (%v) must beat level-1 (%v) at high read rates", rate, l2, l1)
+		}
+		if l1 >= 0.5 {
+			t.Errorf("rate %s: level-1 ratio %v implausibly high", rate, l1)
+		}
+		full1, _ := c.Cell(rate, "L1 full")
+		full2, _ := c.Cell(rate, "L2 full")
+		if full1 >= 1 || full2 >= 1 {
+			t.Errorf("rate %s: compression must undercut the raw stream (%v, %v)", rate, full1, full2)
+		}
+		if full2 >= full1 {
+			t.Errorf("rate %s: L2 full (%v) must beat L1 full (%v)", rate, full2, full1)
+		}
+	}
+}
+
+// TestTable3AndFig10Shape runs the efficiency experiments at quick scale.
+func TestTable3AndFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	t3, err := Table3(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + t3.String())
+	if len(t3.Rows) < 2 {
+		t.Fatal("table 3 must have multiple sizes")
+	}
+	for _, r := range t3.Rows {
+		if r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Errorf("size %s: non-positive costs %v", r.Label, r.Values)
+		}
+		if r.Values[2] >= 1.0 {
+			t.Errorf("size %s: epoch cost %v exceeds the 1 s epoch", r.Label, r.Values[2])
+		}
+		if r.Values[1] <= r.Values[0] {
+			t.Logf("size %s: inference (%v) not dominating update (%v) — informational", r.Label, r.Values[1], r.Values[0])
+		}
+	}
+	first := t3.Rows[0].Values[2]
+	last := t3.Rows[len(t3.Rows)-1].Values[2]
+	if last <= first {
+		t.Errorf("total cost must grow with node count: %v → %v", first, last)
+	}
+
+	f10, err := Fig10(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f10.String())
+	for _, r := range f10.Rows {
+		unpruned, pruned := r.Values[0], r.Values[len(f10.Columns)-3]
+		if pruned > unpruned {
+			t.Errorf("size %s: pruning must not increase memory (%v vs %v)", r.Label, pruned, unpruned)
+		}
+	}
+}
+
+// TestAblations runs the two design-choice ablations at quick scale.
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	ap, err := AblationPartialInference(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + ap.String())
+	sched, _ := ap.Cell("schedule l=1", "infer s/epoch")
+	complete, _ := ap.Cell("complete-only", "infer s/epoch")
+	if sched >= complete {
+		t.Errorf("the partial schedule (%v s/epoch) must cost less than complete-only (%v)", sched, complete)
+	}
+
+	pr, err := AblationPruneThreshold(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + pr.String())
+	c0, _ := pr.Cell("0.00", "cont err")
+	c75, _ := pr.Cell("0.75", "cont err")
+	if c75 < c0 {
+		t.Logf("pruning at 0.75 did not hurt containment here (%v vs %v) — informational", c75, c0)
+	}
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spire/internal/inference"
+	"spire/internal/metrics"
+	"spire/internal/sim"
+)
+
+// accuracySim returns the Section VI-B accuracy workload: 6 pallets/hour,
+// 5 cases per pallet, 20 items per case, 1 h average shelving, read rate
+// 0.85, 3 h duration. Quick mode compresses time by ~6× and lightens the
+// cases so a sweep finishes in seconds per point.
+func accuracySim(o Options) sim.Config {
+	c := sim.DefaultConfig()
+	if o.Quick {
+		c.Duration = 1800
+		c.PalletInterval = 150
+		c.ShelfTime = 600
+		c.ItemsPerCase = 8
+	}
+	return c
+}
+
+// shelfPeriods is the shelf-reader-frequency dimension the paper sweeps:
+// once a second, once every 10 s, once a minute.
+func shelfPeriods(o Options) []int64 {
+	if o.Quick {
+		return []int64{1, 30}
+	}
+	return []int64{1, 10, 60}
+}
+
+// Fig9a reproduces Expt 1: containment inference error as β varies, one
+// series per shelf reader frequency, plus the adaptive-β heuristic.
+func Fig9a(o Options) (*Table, error) {
+	betas := []float64{0, 0.2, 0.4, 0.6, 0.85, 0.95, 1.0}
+	if o.Quick {
+		betas = []float64{0, 0.4, 0.85, 1.0}
+	}
+	periods := shelfPeriods(o)
+
+	t := &Table{
+		ID:        "fig9a",
+		Title:     "Containment inference error rate vs β (Expt 1)",
+		RowHeader: "beta",
+	}
+	for _, p := range periods {
+		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
+	}
+	for _, beta := range betas {
+		row := Row{Label: fmt.Sprintf("%.2f", beta)}
+		for _, p := range periods {
+			rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
+			rc.Sim.ShelfPeriod = modelEpoch(p)
+			rc.Inference.Beta = beta
+			out, err := run(rc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, out.Acc.ContainmentErrorRate())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Adaptive β row.
+	row := Row{Label: "adaptive"}
+	for _, p := range periods {
+		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
+		rc.Sim.ShelfPeriod = modelEpoch(p)
+		rc.Inference.AdaptiveBeta = true
+		out, err := run(rc)
+		if err != nil {
+			return nil, err
+		}
+		row.Values = append(row.Values, out.Acc.ContainmentErrorRate())
+	}
+	t.Rows = append(t.Rows, row)
+	t.Notes = append(t.Notes,
+		"paper shape: high β degrades under noisy (frequent) shelf readers; low β and adaptive β track the best setting",
+		"S=32, α=0 fixed as in the paper")
+	return t, nil
+}
+
+// Fig9b reproduces Expt 2 (γ sweep): location inference error as γ varies.
+func Fig9b(o Options) (*Table, error) {
+	gammas := []float64{0, 0.15, 0.3, 0.45, 0.6, 0.8, 1.0}
+	if o.Quick {
+		gammas = []float64{0, 0.3, 0.6, 1.0}
+	}
+	periods := shelfPeriods(o)
+	t := &Table{
+		ID:        "fig9b",
+		Title:     "Location inference error rate vs γ (Expt 2)",
+		RowHeader: "gamma",
+	}
+	for _, p := range periods {
+		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
+	}
+	for _, gamma := range gammas {
+		row := Row{Label: fmt.Sprintf("%.2f", gamma)}
+		for _, p := range periods {
+			rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
+			rc.Sim.ShelfPeriod = modelEpoch(p)
+			rc.Inference.Gamma = gamma
+			out, err := run(rc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, out.Acc.LocationErrorRate())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: mid-range γ (0.15-0.45) balances last observation against containment; extremes degrade")
+	return t, nil
+}
+
+// Fig9c reproduces Expt 2 (θ sweep): location inference error as the
+// fading exponent varies.
+func Fig9c(o Options) (*Table, error) {
+	thetas := []float64{0.1, 0.35, 0.75, 1.25, 1.5, 2, 3}
+	if o.Quick {
+		thetas = []float64{0.1, 0.75, 1.25, 3}
+	}
+	periods := shelfPeriods(o)
+	t := &Table{
+		ID:        "fig9c",
+		Title:     "Location inference error rate vs θ (Expt 2)",
+		RowHeader: "theta",
+	}
+	for _, p := range periods {
+		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
+	}
+	for _, theta := range thetas {
+		row := Row{Label: fmt.Sprintf("%.2f", theta)}
+		for _, p := range periods {
+			rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
+			rc.Sim.ShelfPeriod = modelEpoch(p)
+			rc.Inference.Theta = theta
+			out, err := run(rc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, out.Acc.LocationErrorRate())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: error declines from very low θ, flattens in the 1-2 range, degrades again for high θ")
+	return t, nil
+}
+
+// Fig9d reproduces Expt 3: sensitivity of both inference tasks to the
+// read rate.
+func Fig9d(o Options) (*Table, error) {
+	rates := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if o.Quick {
+		rates = []float64{0.5, 0.7, 0.85, 1.0}
+	}
+	t := &Table{
+		ID:        "fig9d",
+		Title:     "Inference error rate vs read rate (Expt 3)",
+		RowHeader: "read rate",
+		Columns:   []string{"location", "containment"},
+	}
+	for _, rr := range rates {
+		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
+		rc.Sim.ReadRate = rr
+		rc.Sim.ShelfPeriod = 60
+		if o.Quick {
+			rc.Sim.ShelfPeriod = 30
+		}
+		out, err := run(rc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", rr),
+			out.Acc.LocationErrorRate(), out.Acc.ContainmentErrorRate())
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: both errors below ~10% for read rates ≥0.8; containment degrades faster as the rate drops")
+	return t, nil
+}
+
+// anomalySim is the Expt 4 workload: thefts at one removal per 100 s.
+func anomalySim(o Options) sim.Config {
+	c := accuracySim(o)
+	c.TheftInterval = 100
+	if o.Quick {
+		c.TheftInterval = 60
+	}
+	return c
+}
+
+// Fig9e reproduces Expt 4 (error rate): inference error under the anomaly
+// workload as θ varies.
+func Fig9e(o Options) (*Table, error) {
+	thetas := []float64{0.1, 0.35, 0.75, 1.25, 1.5, 2, 3}
+	if o.Quick {
+		thetas = []float64{0.1, 0.75, 1.25, 3}
+	}
+	periods := shelfPeriods(o)
+	t := &Table{
+		ID:        "fig9e",
+		Title:     "Location error rate with anomalies vs θ (Expt 4)",
+		RowHeader: "theta",
+	}
+	for _, p := range periods {
+		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
+	}
+	for _, theta := range thetas {
+		row := Row{Label: fmt.Sprintf("%.2f", theta)}
+		for _, p := range periods {
+			rc := runConfig{Sim: anomalySim(o), Inference: inference.DefaultConfig()}
+			rc.Sim.ShelfPeriod = modelEpoch(p)
+			rc.Inference.Theta = theta
+			out, err := run(rc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, out.Acc.LocationErrorRate())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: same U-shape as Fig 9(c); θ in 1-2 remains a good choice with anomalies present")
+	return t, nil
+}
+
+// Fig9f reproduces Expt 4 (detection delay): mean epochs from theft to the
+// Missing message as θ varies.
+func Fig9f(o Options) (*Table, error) {
+	thetas := []float64{0.35, 0.75, 1.25, 1.5, 2, 3}
+	if o.Quick {
+		thetas = []float64{0.35, 1.25, 3}
+	}
+	periods := shelfPeriods(o)
+	t := &Table{
+		ID:        "fig9f",
+		Title:     "Anomaly detection delay (s) vs θ (Expt 4)",
+		RowHeader: "theta",
+	}
+	for _, p := range periods {
+		t.Columns = append(t.Columns,
+			fmt.Sprintf("delay shelf=1/%ds", p), fmt.Sprintf("detected shelf=1/%ds", p))
+	}
+	for _, theta := range thetas {
+		row := Row{Label: fmt.Sprintf("%.2f", theta)}
+		for _, p := range periods {
+			rc := runConfig{Sim: anomalySim(o), Inference: inference.DefaultConfig(), CollectEvents: true}
+			rc.Sim.ShelfPeriod = modelEpoch(p)
+			rc.Inference.Theta = theta
+			out, err := run(rc)
+			if err != nil {
+				return nil, err
+			}
+			d := metrics.DetectionDelays(out.Events, out.Thefts)
+			frac := 0.0
+			if d.Total > 0 {
+				frac = float64(d.Detected) / float64(d.Total)
+			}
+			row.Values = append(row.Values, d.MeanDelay, frac)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: higher θ detects faster, especially under infrequent shelf readers; combined with Fig 9(e), θ in 1-2 remains optimal")
+	return t, nil
+}

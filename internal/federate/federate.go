@@ -1,0 +1,176 @@
+// Package federate merges the compressed output streams of several SPIRE
+// substrates into one warehouse-wide stream — a building block for the
+// distributed deployments the paper lists as future work.
+//
+// A large site runs one substrate per zone (per dock, per aisle block),
+// each covering a disjoint set of locations. Objects move between zones,
+// so the per-zone streams are individually well-formed but mutually
+// inconsistent: when zone B first reports an object, zone A's interval
+// for it may still be open, and neither zone knows about the handoff.
+//
+// The Merger consumes per-epoch batches from every zone and emits a
+// single consistent stream by applying zone-priority reconciliation:
+//
+//   - the zone that most recently observed an object owns its state;
+//   - when a new zone opens a location (or containment) interval for an
+//     object whose interval from another zone is still open, the stale
+//     interval is closed at the handoff epoch;
+//   - end messages from a zone that no longer owns the object are
+//     dropped (its view is stale);
+//   - Missing messages are forwarded only from the owning zone, so an
+//     object in transit between zones raises at most one alarm.
+//
+// The merged stream satisfies event.CheckWellFormed.
+package federate
+
+import (
+	"fmt"
+	"sort"
+
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// ZoneID identifies one source substrate.
+type ZoneID int
+
+// objState tracks an object's merged state.
+type objState struct {
+	owner ZoneID
+
+	locOpen bool
+	loc     model.LocationID
+	locVs   model.Epoch
+
+	contOpen  bool
+	container model.Tag
+	contVs    model.Epoch
+}
+
+// Merger reconciles per-zone streams. Feed batches in epoch order (all
+// zones' batches for epoch t before any batch for t+1); within an epoch,
+// feed zones in any fixed order. It is not safe for concurrent use.
+type Merger struct {
+	states   map[model.Tag]*objState
+	lastTime model.Epoch
+	out      []event.Event
+}
+
+// NewMerger returns an empty merger.
+func NewMerger() *Merger {
+	return &Merger{states: make(map[model.Tag]*objState), lastTime: model.EpochNone}
+}
+
+func (m *Merger) state(g model.Tag) *objState {
+	st, ok := m.states[g]
+	if !ok {
+		st = &objState{owner: -1, loc: model.LocationNone, container: model.NoTag}
+		m.states[g] = st
+	}
+	return st
+}
+
+// Ingest merges one zone's batch for one epoch and returns the merged
+// events it produced. Events within the batch must be in the zone
+// compressor's emission order.
+func (m *Merger) Ingest(zone ZoneID, events []event.Event) ([]event.Event, error) {
+	m.out = m.out[:0]
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("federate: zone %d: %w", zone, err)
+		}
+		emitted := e.Vs
+		if e.Kind == event.EndLocation || e.Kind == event.EndContainment {
+			emitted = e.Ve
+		}
+		if emitted < m.lastTime {
+			return nil, fmt.Errorf("federate: zone %d: event %v at %d before merged stream time %d",
+				zone, e, emitted, m.lastTime)
+		}
+		m.apply(zone, e)
+		if emitted > m.lastTime {
+			m.lastTime = emitted
+		}
+	}
+	return append([]event.Event(nil), m.out...), nil
+}
+
+func (m *Merger) apply(zone ZoneID, e event.Event) {
+	st := m.state(e.Object)
+	switch e.Kind {
+	case event.StartLocation:
+		// The reporting zone takes ownership; close any stale interval
+		// from the previous owner at the handoff epoch.
+		if st.locOpen {
+			if st.owner == zone && st.loc == e.Location {
+				return // duplicate of the already-open interval
+			}
+			m.emit(event.NewEndLocation(e.Object, st.loc, st.locVs, e.Vs))
+		}
+		st.owner = zone
+		st.locOpen = true
+		st.loc = e.Location
+		st.locVs = e.Vs
+		m.emit(event.NewStartLocation(e.Object, e.Location, e.Vs))
+	case event.EndLocation:
+		if st.owner != zone || !st.locOpen || st.loc != e.Location {
+			return // stale view from a zone that lost the object
+		}
+		st.locOpen = false
+		m.emit(event.NewEndLocation(e.Object, e.Location, st.locVs, e.Ve))
+	case event.Missing:
+		if st.owner != zone && st.owner != -1 {
+			return // only the owner may declare the object missing
+		}
+		if st.locOpen {
+			m.emit(event.NewEndLocation(e.Object, st.loc, st.locVs, e.Vs))
+			st.locOpen = false
+		}
+		st.owner = zone
+		m.emit(event.NewMissing(e.Object, e.Location, e.Vs))
+	case event.StartContainment:
+		if st.contOpen {
+			if st.container == e.Container {
+				return
+			}
+			m.emit(event.NewEndContainment(e.Object, st.container, st.contVs, e.Vs))
+		}
+		st.contOpen = true
+		st.container = e.Container
+		st.contVs = e.Vs
+		m.emit(event.NewStartContainment(e.Object, e.Container, e.Vs))
+	case event.EndContainment:
+		if !st.contOpen || st.container != e.Container {
+			return
+		}
+		st.contOpen = false
+		m.emit(event.NewEndContainment(e.Object, e.Container, st.contVs, e.Ve))
+	}
+}
+
+func (m *Merger) emit(e event.Event) { m.out = append(m.out, e) }
+
+// Close ends every open merged interval at epoch now.
+func (m *Merger) Close(now model.Epoch) []event.Event {
+	tags := make([]model.Tag, 0, len(m.states))
+	for g := range m.states {
+		tags = append(tags, g)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	var out []event.Event
+	for _, g := range tags {
+		st := m.states[g]
+		if st.contOpen {
+			out = append(out, event.NewEndContainment(g, st.container, st.contVs, now))
+			st.contOpen = false
+		}
+		if st.locOpen {
+			out = append(out, event.NewEndLocation(g, st.loc, st.locVs, now))
+			st.locOpen = false
+		}
+	}
+	return out
+}
+
+// Objects reports the number of objects the merger has seen.
+func (m *Merger) Objects() int { return len(m.states) }

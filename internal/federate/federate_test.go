@@ -1,0 +1,268 @@
+package federate
+
+import (
+	"math/rand"
+	"testing"
+
+	"spire/internal/compress"
+	"spire/internal/event"
+	"spire/internal/inference"
+	"spire/internal/model"
+)
+
+const (
+	obj   = model.Tag(1)
+	caseT = model.Tag(2)
+	locA  = model.LocationID(0) // zone 0
+	locB  = model.LocationID(5) // zone 1
+)
+
+func ingest(t *testing.T, m *Merger, zone ZoneID, evs ...event.Event) []event.Event {
+	t.Helper()
+	out, err := m.Ingest(zone, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHandoffClosesStaleInterval(t *testing.T) {
+	m := NewMerger()
+	var all []event.Event
+	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 1))...)
+	// Zone 1 first sees the object at t=50 while zone 0's interval is
+	// still open; zone 0 never emits an End (it just stops seeing it, or
+	// its End arrives late).
+	all = append(all, ingest(t, m, 1, event.NewStartLocation(obj, locB, 50))...)
+	want := []event.Event{
+		event.NewStartLocation(obj, locA, 1),
+		event.NewEndLocation(obj, locA, 1, 50),
+		event.NewStartLocation(obj, locB, 50),
+	}
+	if len(all) != len(want) {
+		t.Fatalf("merged = %v, want %v", all, want)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("event %d: got %v, want %v", i, all[i], want[i])
+		}
+	}
+	if err := event.CheckWellFormed(all, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleEndDropped(t *testing.T) {
+	m := NewMerger()
+	var all []event.Event
+	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 1))...)
+	all = append(all, ingest(t, m, 1, event.NewStartLocation(obj, locB, 50))...)
+	// Zone 0 belatedly reports an End (+ Missing) for the object it lost.
+	late := ingest(t, m, 0,
+		event.NewEndLocation(obj, locA, 1, 60),
+		event.NewMissing(obj, locA, 60))
+	if len(late) != 0 {
+		t.Fatalf("stale zone-0 view must be dropped, got %v", late)
+	}
+	all = append(all, late...)
+	if err := event.CheckWellFormed(all, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwningZoneEndAndMissingForwarded(t *testing.T) {
+	m := NewMerger()
+	var all []event.Event
+	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 1))...)
+	all = append(all, ingest(t, m, 0,
+		event.NewEndLocation(obj, locA, 1, 30),
+		event.NewMissing(obj, locA, 30))...)
+	want := []event.Event{
+		event.NewStartLocation(obj, locA, 1),
+		event.NewEndLocation(obj, locA, 1, 30),
+		event.NewMissing(obj, locA, 30),
+	}
+	if len(all) != len(want) {
+		t.Fatalf("merged = %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("event %d: got %v, want %v", i, all[i], want[i])
+		}
+	}
+}
+
+func TestDuplicateStartSuppressed(t *testing.T) {
+	m := NewMerger()
+	ingest(t, m, 0, event.NewStartLocation(obj, locA, 1))
+	dup := ingest(t, m, 0, event.NewStartLocation(obj, locA, 5))
+	if len(dup) != 0 {
+		t.Fatalf("duplicate start must be suppressed, got %v", dup)
+	}
+}
+
+func TestContainmentHandoff(t *testing.T) {
+	m := NewMerger()
+	var all []event.Event
+	all = append(all, ingest(t, m, 0, event.NewStartContainment(obj, caseT, 1))...)
+	// Zone 1 reports a different container without zone 0 ending the old
+	// one.
+	all = append(all, ingest(t, m, 1, event.NewStartContainment(obj, caseT+1, 40))...)
+	want := []event.Event{
+		event.NewStartContainment(obj, caseT, 1),
+		event.NewEndContainment(obj, caseT, 1, 40),
+		event.NewStartContainment(obj, caseT+1, 40),
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", all, want)
+		}
+	}
+	// A duplicate containment start is suppressed; a mismatched end is
+	// dropped.
+	if out := ingest(t, m, 0, event.NewStartContainment(obj, caseT+1, 50)); len(out) != 0 {
+		t.Errorf("duplicate containment start must be suppressed: %v", out)
+	}
+	if out := ingest(t, m, 0, event.NewEndContainment(obj, caseT, 1, 60)); len(out) != 0 {
+		t.Errorf("mismatched containment end must be dropped: %v", out)
+	}
+}
+
+func TestMergerRejectsBadInput(t *testing.T) {
+	m := NewMerger()
+	if _, err := m.Ingest(0, []event.Event{{Kind: event.StartLocation}}); err == nil {
+		t.Error("invalid event must be rejected")
+	}
+	ingest(t, m, 0, event.NewStartLocation(obj, locA, 100))
+	if _, err := m.Ingest(0, []event.Event{event.NewStartLocation(caseT, locA, 50)}); err == nil {
+		t.Error("time regression must be rejected")
+	}
+}
+
+func TestCloseEndsEverything(t *testing.T) {
+	m := NewMerger()
+	ingest(t, m, 0,
+		event.NewStartContainment(obj, caseT, 1),
+		event.NewStartLocation(obj, locA, 1),
+		event.NewStartLocation(caseT, locA, 1))
+	out := m.Close(99)
+	if len(out) != 3 {
+		t.Fatalf("Close emitted %v", out)
+	}
+	if m.Objects() != 2 {
+		t.Errorf("Objects = %d, want 2", m.Objects())
+	}
+	if extra := m.Close(100); len(extra) != 0 {
+		t.Errorf("second Close must be empty, got %v", extra)
+	}
+}
+
+// TestRandomizedZonesStayWellFormed drives two per-zone level-1
+// compressors with random object movements — each zone only sees the
+// objects currently in its half of the warehouse and believes the rest
+// have gone missing — and checks that the merged stream is always
+// well-formed with at most one open interval per object.
+func TestRandomizedZonesStayWellFormed(t *testing.T) {
+	levelOf := func(model.Tag) model.Level { return model.LevelItem }
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMerger()
+		comps := [2]*compress.Level1{compress.NewLevel1(levelOf), compress.NewLevel1(levelOf)}
+		var merged []event.Event
+
+		const nObjects = 8
+		zone := make([]int, nObjects) // current zone per object
+		loc := make([]model.LocationID, nObjects)
+		for i := range loc {
+			zone[i] = rng.Intn(2)
+			loc[i] = model.LocationID(zone[i]*4 + rng.Intn(4))
+		}
+		for epoch := model.Epoch(1); epoch <= 150; epoch++ {
+			for i := range loc {
+				if rng.Float64() < 0.1 {
+					zone[i] = rng.Intn(2)
+					loc[i] = model.LocationID(zone[i]*4 + rng.Intn(4))
+				}
+			}
+			for z := 0; z < 2; z++ {
+				res := &inference.Result{
+					Now:       epoch,
+					Locations: map[model.Tag]model.LocationID{},
+					Parents:   map[model.Tag]model.Tag{},
+					Observed:  map[model.Tag]bool{},
+				}
+				for i := range loc {
+					g := model.Tag(i + 1)
+					if zone[i] == z {
+						res.Locations[g] = loc[i]
+						res.Parents[g] = model.NoTag
+					} else if epoch > 1 {
+						// The other zone's view: the object is gone.
+						res.Locations[g] = model.LocationUnknown
+						res.Parents[g] = model.NoTag
+					}
+				}
+				out, err := m.Ingest(ZoneID(z), comps[z].Compress(res))
+				if err != nil {
+					t.Fatalf("seed %d epoch %d zone %d: %v", seed, epoch, z, err)
+				}
+				merged = append(merged, out...)
+			}
+		}
+		merged = append(merged, m.Close(151)...)
+		if err := event.CheckWellFormed(merged, true); err != nil {
+			t.Fatalf("seed %d: merged stream: %v", seed, err)
+		}
+	}
+}
+
+// TestTwoZonePipelineWellFormed merges two synthetic zone streams of an
+// object ping-ponging between zones and checks global well-formedness.
+func TestTwoZonePipelineWellFormed(t *testing.T) {
+	m := NewMerger()
+	var merged []event.Event
+	// Zone streams as their compressors would emit them, interleaved by
+	// epoch. Zone 0 covers locA, zone 1 covers locB; each zone opens the
+	// object when it arrives and reports it missing a while after it
+	// leaves (its local view).
+	type batch struct {
+		zone ZoneID
+		evs  []event.Event
+	}
+	batches := []batch{
+		{0, []event.Event{event.NewStartLocation(obj, locA, 1)}},
+		{1, []event.Event{event.NewStartLocation(obj, locB, 20)}},
+		{0, []event.Event{event.NewEndLocation(obj, locA, 1, 25), event.NewMissing(obj, locA, 25)}},
+		{0, []event.Event{event.NewStartLocation(obj, locA, 40)}},
+		{1, []event.Event{event.NewEndLocation(obj, locB, 20, 45), event.NewMissing(obj, locB, 45)}},
+		{1, []event.Event{event.NewStartLocation(obj, locB, 60)}},
+	}
+	for _, b := range batches {
+		out, err := m.Ingest(b.zone, b.evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, out...)
+	}
+	merged = append(merged, m.Close(99)...)
+	if err := event.CheckWellFormed(merged, true); err != nil {
+		t.Fatalf("merged stream: %v\n%v", err, merged)
+	}
+	// Exactly one open interval at any time: the object's merged history
+	// must be locA, locB, locA, locB with no overlaps.
+	var seq []model.LocationID
+	for _, e := range merged {
+		if e.Kind == event.StartLocation {
+			seq = append(seq, e.Location)
+		}
+	}
+	want := []model.LocationID{locA, locB, locA, locB}
+	if len(seq) != len(want) {
+		t.Fatalf("location sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("location sequence = %v, want %v", seq, want)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package graph implements SPIRE's time-varying colored graph model
+// (Section III of the paper).
+//
+// Nodes represent RFID-tagged objects, arranged in layers by packaging
+// level. A node's color is the location where it was observed in the
+// current epoch; unobserved nodes are uncolored but remember their most
+// recent color and when it was seen. Directed edges parent→child encode
+// *possible* containment relationships; each edge carries a
+// recent_colocations bit-vector of positive/negative co-location evidence,
+// and each node remembers its last reader-confirmed parent.
+//
+// The graph is updated stream-drivenly, one reader's reading set at a
+// time, by the four-step procedure of Fig. 4 (see update.go). The
+// inference package consumes the resulting structure.
+package graph
+
+import (
+	"fmt"
+
+	"spire/internal/model"
+)
+
+// Config parameterizes the graph model.
+type Config struct {
+	// HistorySize is S, the length of each edge's recent_colocations
+	// bit-vector. The paper finds S=32 sufficient.
+	HistorySize int
+}
+
+// DefaultHistorySize is the paper's chosen S.
+const DefaultHistorySize = 32
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HistorySize == 0 {
+		out.HistorySize = DefaultHistorySize
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.HistorySize < 1 || c.HistorySize > MaxHistorySize {
+		return fmt.Errorf("graph: HistorySize %d out of range [1,%d]", c.HistorySize, MaxHistorySize)
+	}
+	return nil
+}
+
+// Node is one object in the graph. Fields are mutated only by the graph
+// update procedure; other packages read them.
+type Node struct {
+	Tag   model.Tag
+	Level model.Level
+
+	// RecentColor and SeenAt are the (recent color, seen at) memory of the
+	// paper: the color of the location where the object was last observed
+	// and the epoch of that observation. The node is *colored* in epoch t
+	// iff SeenAt == t.
+	RecentColor model.LocationID
+	SeenAt      model.Epoch
+
+	// NewColorAt is the last epoch in which the node was assigned a color
+	// different from its previous one (including its first coloring). The
+	// edge-creation step runs only for such nodes.
+	NewColorAt model.Epoch
+
+	// ConfirmedEdge is the parent edge last confirmed by a special reader
+	// (at most one per node), ConfirmedAt the confirmation epoch, and
+	// Conflicts the number of conflicting observations since then.
+	ConfirmedEdge *Edge
+	ConfirmedAt   model.Epoch
+	Conflicts     int
+
+	// BetaEither and BetaOne drive the adaptive-β heuristic of Expt 1:
+	// among epochs in which the object or its confirmed container was
+	// read, how many saw exactly one of the two.
+	BetaEither int
+	BetaOne    int
+
+	parents  map[model.Tag]*Edge // incoming edges, keyed by parent tag
+	children map[model.Tag]*Edge // outgoing edges, keyed by child tag
+}
+
+// Colored reports whether the node was observed in epoch now.
+func (n *Node) Colored(now model.Epoch) bool { return n.SeenAt == now }
+
+// ColorAt returns the node's color in epoch now, or LocationNone if the
+// node is uncolored (unobserved) in that epoch.
+func (n *Node) ColorAt(now model.Epoch) model.LocationID {
+	if n.SeenAt == now {
+		return n.RecentColor
+	}
+	return model.LocationNone
+}
+
+// ParentEdges returns the incoming (possible-container) edges. The
+// returned slice is freshly allocated; mutate the graph, not the slice.
+func (n *Node) ParentEdges() []*Edge {
+	out := make([]*Edge, 0, len(n.parents))
+	for _, e := range n.parents {
+		out = append(out, e)
+	}
+	return out
+}
+
+// ChildEdges returns the outgoing (possible-content) edges.
+func (n *Node) ChildEdges() []*Edge {
+	out := make([]*Edge, 0, len(n.children))
+	for _, e := range n.children {
+		out = append(out, e)
+	}
+	return out
+}
+
+// NumParents and NumChildren report degree without allocating.
+func (n *Node) NumParents() int  { return len(n.parents) }
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// ParentEdge returns the edge from the given parent, if any.
+func (n *Node) ParentEdge(parent model.Tag) *Edge { return n.parents[parent] }
+
+// ChildEdge returns the edge to the given child, if any.
+func (n *Node) ChildEdge(child model.Tag) *Edge { return n.children[child] }
+
+// VisitParents calls f for each incoming edge without allocating.
+func (n *Node) VisitParents(f func(*Edge)) {
+	for _, e := range n.parents {
+		f(e)
+	}
+}
+
+// VisitChildren calls f for each outgoing edge without allocating.
+func (n *Node) VisitChildren(f func(*Edge)) {
+	for _, e := range n.children {
+		f(e)
+	}
+}
+
+// AdaptiveBeta returns the adaptive β of Expt 1: the fraction of epochs,
+// among those where the object or its confirmed container was read, in
+// which exactly one of the two was read. Falls back to def when the node
+// has no confirmation history yet.
+func (n *Node) AdaptiveBeta(def float64) float64 {
+	if n.BetaEither == 0 {
+		return def
+	}
+	return float64(n.BetaOne) / float64(n.BetaEither)
+}
+
+// Edge is a possible containment relationship Parent→Child.
+type Edge struct {
+	Parent, Child *Node
+
+	// History is the recent_colocations evidence bit-vector.
+	History History
+
+	// UpdateTime is the last epoch in which edge statistics were updated;
+	// the update procedure shifts the history exactly once per epoch by
+	// comparing it against now.
+	UpdateTime model.Epoch
+
+	// CreatedAt is the epoch the edge was added; edges are only eligible
+	// for color-mismatch removal once they have survived a prior epoch
+	// (Fig. 4 line 15).
+	CreatedAt model.Epoch
+
+	// conflictedAt / betaOneAt make the two-sided edge visit idempotent:
+	// a first visit that saw the partner uncolored may be revised when the
+	// partner turns out to be colored later in the same epoch.
+	conflictedAt model.Epoch
+	betaOneAt    model.Epoch
+}
+
+// Confirmed reports whether this edge is the confirmed parent edge of its
+// child (drawn with double arrows in the paper's figures).
+func (e *Edge) Confirmed() bool { return e.Child.ConfirmedEdge == e }
+
+// Graph is the time-varying colored graph. It is not safe for concurrent
+// mutation.
+type Graph struct {
+	cfg   Config
+	nodes map[model.Tag]*Node
+	edges int
+
+	// colored indexes the nodes observed in the current epoch by level and
+	// color, so the edge-creation step can find same-colored nodes in
+	// nearby layers without scanning the graph. It is reset lazily when a
+	// new epoch begins.
+	colored    [model.NumLevels]map[model.LocationID][]*Node
+	coloredAt  model.Epoch
+	zeroEpoch  bool // true once any update has run (epoch 0 is valid)
+	zipfLookup []float64
+}
+
+// New creates an empty graph.
+func New(cfg Config) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		cfg:       cfg,
+		nodes:     make(map[model.Tag]*Node),
+		coloredAt: model.EpochNone,
+	}
+	for i := range g.colored {
+		g.colored[i] = make(map[model.LocationID][]*Node)
+	}
+	return g, nil
+}
+
+// Config returns the graph's configuration.
+func (g *Graph) Config() Config { return g.cfg }
+
+// Node returns the node for tag, or nil.
+func (g *Graph) Node(tag model.Tag) *Node { return g.nodes[tag] }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int { return g.edges }
+
+// Nodes calls f for every node; iteration order is unspecified.
+func (g *Graph) Nodes(f func(*Node)) {
+	for _, n := range g.nodes {
+		f(n)
+	}
+}
+
+// addNode creates a node for tag at the given level.
+func (g *Graph) addNode(tag model.Tag, lvl model.Level) *Node {
+	n := &Node{
+		Tag:         tag,
+		Level:       lvl,
+		RecentColor: model.LocationNone,
+		SeenAt:      model.EpochNone,
+		NewColorAt:  model.EpochNone,
+		ConfirmedAt: model.EpochNone,
+		parents:     make(map[model.Tag]*Edge),
+		children:    make(map[model.Tag]*Edge),
+	}
+	g.nodes[tag] = n
+	return n
+}
+
+// AddEdge inserts a parent→child edge if absent and returns it. Both
+// nodes must already be in the graph.
+func (g *Graph) AddEdge(parent, child *Node, now model.Epoch) *Edge {
+	if e, ok := child.parents[parent.Tag]; ok {
+		return e
+	}
+	h, err := NewHistory(g.cfg.HistorySize)
+	if err != nil {
+		panic(err) // validated at construction
+	}
+	e := &Edge{
+		Parent:       parent,
+		Child:        child,
+		History:      h,
+		UpdateTime:   model.EpochNone,
+		CreatedAt:    now,
+		conflictedAt: model.EpochNone,
+		betaOneAt:    model.EpochNone,
+	}
+	parent.children[child.Tag] = e
+	child.parents[parent.Tag] = e
+	g.edges++
+	return e
+}
+
+// RemoveEdge detaches e from both endpoints.
+func (g *Graph) RemoveEdge(e *Edge) {
+	if e.Child.ConfirmedEdge == e {
+		e.Child.ConfirmedEdge = nil
+	}
+	if _, ok := e.Child.parents[e.Parent.Tag]; ok {
+		delete(e.Child.parents, e.Parent.Tag)
+		delete(e.Parent.children, e.Child.Tag)
+		g.edges--
+	}
+}
+
+// RemoveNode deletes the node for tag and all incident edges. The
+// substrate calls this when an object exits the world through a proper
+// channel (the graph-pruning routine of Section IV-C).
+func (g *Graph) RemoveNode(tag model.Tag) {
+	n, ok := g.nodes[tag]
+	if !ok {
+		return
+	}
+	for _, e := range n.parents {
+		g.RemoveEdge(e)
+	}
+	for _, e := range n.children {
+		g.RemoveEdge(e)
+	}
+	// Drop the node from the colored index of the current epoch, if there.
+	if n.SeenAt == g.coloredAt && n.RecentColor.Known() {
+		lvl := int(n.Level)
+		list := g.colored[lvl][n.RecentColor]
+		for i, m := range list {
+			if m == n {
+				list[i] = list[len(list)-1]
+				g.colored[lvl][n.RecentColor] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+	delete(g.nodes, tag)
+}
+
+// ColoredNodes returns the nodes observed in epoch now at the given level
+// and color. The slice is owned by the graph; do not mutate.
+func (g *Graph) ColoredNodes(lvl model.Level, color model.LocationID, now model.Epoch) []*Node {
+	if g.coloredAt != now {
+		return nil
+	}
+	return g.colored[lvl][color]
+}
+
+// EachColored calls f for every node observed in epoch now.
+func (g *Graph) EachColored(now model.Epoch, f func(*Node)) {
+	if g.coloredAt != now {
+		return
+	}
+	for lvl := range g.colored {
+		for _, list := range g.colored[lvl] {
+			for _, n := range list {
+				f(n)
+			}
+		}
+	}
+}
+
+// beginEpoch lazily resets the per-epoch colored index.
+func (g *Graph) beginEpoch(now model.Epoch) {
+	if g.coloredAt == now {
+		return
+	}
+	for i := range g.colored {
+		m := g.colored[i]
+		for k := range m {
+			m[k] = m[k][:0]
+		}
+	}
+	g.coloredAt = now
+}
+
+// NodeSizeBytes and EdgeSizeBytes approximate per-object memory costs for
+// the memory experiment (Fig. 10). They include the map-entry overhead of
+// the adjacency maps (two entries per edge) using a conservative 48 bytes
+// per map entry.
+const (
+	NodeSizeBytes = 160 // struct + two map headers + index slot
+	EdgeSizeBytes = 96 + 2*48
+)
+
+// ApproxBytes estimates the resident size of the graph.
+func (g *Graph) ApproxBytes() int64 {
+	return int64(len(g.nodes))*NodeSizeBytes + int64(g.edges)*EdgeSizeBytes
+}
+
+// Stats is a structural snapshot of the graph, for monitoring and
+// diagnostics.
+type Stats struct {
+	Nodes          int
+	NodesByLevel   [model.NumLevels]int
+	Edges          int
+	ConfirmedEdges int
+	Colored        int // nodes observed in the snapshot epoch
+	ApproxBytes    int64
+}
+
+// Snapshot computes Stats for epoch now in one O(V+E) pass.
+func (g *Graph) Snapshot(now model.Epoch) Stats {
+	st := Stats{Nodes: len(g.nodes), Edges: g.edges, ApproxBytes: g.ApproxBytes()}
+	for _, n := range g.nodes {
+		if n.Level.Valid() {
+			st.NodesByLevel[n.Level]++
+		}
+		if n.Colored(now) {
+			st.Colored++
+		}
+		if n.ConfirmedEdge != nil {
+			st.ConfirmedEdges++
+		}
+	}
+	return st
+}

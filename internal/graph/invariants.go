@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"fmt"
+
+	"spire/internal/model"
+)
+
+// CheckInvariants verifies the structural invariants of the graph model
+// after all reader sets of epoch now have been applied. It is used by
+// tests and by the property-based suite; it is O(V+E).
+//
+// Invariants checked:
+//   - adjacency maps are mutually consistent and the edge count matches;
+//   - a parent edge never points from a lower to a higher node within the
+//     same... more precisely, Parent.Level > Child.Level always (edges may
+//     cross layers but always point downward);
+//   - no edge connects two nodes observed in different locations in epoch
+//     now (they must have been removed in step 3);
+//   - a node's confirmed edge, if set, is one of its parent edges;
+//   - every node observed in epoch now appears exactly once in the colored
+//     index under its level and color.
+func (g *Graph) CheckInvariants(now model.Epoch) error {
+	edgeSeen := 0
+	for tag, n := range g.nodes {
+		if n.Tag != tag {
+			return fmt.Errorf("graph: node keyed %d has tag %d", tag, n.Tag)
+		}
+		for ptag, e := range n.parents {
+			if e.Child != n {
+				return fmt.Errorf("graph: parent edge of %d has child %d", tag, e.Child.Tag)
+			}
+			if e.Parent.Tag != ptag {
+				return fmt.Errorf("graph: parent edge of %d keyed %d but parent is %d", tag, ptag, e.Parent.Tag)
+			}
+			if back, ok := e.Parent.children[tag]; !ok || back != e {
+				return fmt.Errorf("graph: edge %d→%d missing from parent's children", ptag, tag)
+			}
+			if e.Parent.Level <= e.Child.Level {
+				return fmt.Errorf("graph: edge %d→%d does not point downward (%v→%v)",
+					ptag, tag, e.Parent.Level, e.Child.Level)
+			}
+			pc, cc := e.Parent.ColorAt(now), e.Child.ColorAt(now)
+			if pc.Known() && cc.Known() && pc != cc {
+				return fmt.Errorf("graph: edge %d→%d connects colors %v and %v at epoch %d",
+					ptag, tag, pc, cc, now)
+			}
+			edgeSeen++
+		}
+		for ctag, e := range n.children {
+			if e.Parent != n || e.Child.Tag != ctag {
+				return fmt.Errorf("graph: child edge %d→%d inconsistent", tag, ctag)
+			}
+			if back, ok := e.Child.parents[tag]; !ok || back != e {
+				return fmt.Errorf("graph: edge %d→%d missing from child's parents", tag, ctag)
+			}
+		}
+		if ce := n.ConfirmedEdge; ce != nil {
+			if got, ok := n.parents[ce.Parent.Tag]; !ok || got != ce {
+				return fmt.Errorf("graph: node %d confirmed edge is not among its parents", tag)
+			}
+		}
+		if n.Colored(now) && !n.RecentColor.Known() {
+			return fmt.Errorf("graph: node %d colored with sentinel color %v", tag, n.RecentColor)
+		}
+	}
+	if edgeSeen != g.edges {
+		return fmt.Errorf("graph: edge count %d but %d edges found", g.edges, edgeSeen)
+	}
+	if g.coloredAt == now {
+		counted := make(map[model.Tag]int)
+		for lvl := range g.colored {
+			for color, list := range g.colored[lvl] {
+				for _, n := range list {
+					counted[n.Tag]++
+					if int(n.Level) != lvl || n.RecentColor != color || !n.Colored(now) {
+						return fmt.Errorf("graph: node %d misfiled in colored index (%v/%v)", n.Tag, n.Level, color)
+					}
+				}
+			}
+		}
+		for _, n := range g.nodes {
+			want := 0
+			if n.Colored(now) {
+				want = 1
+			}
+			if counted[n.Tag] != want {
+				return fmt.Errorf("graph: node %d appears %d times in colored index, want %d",
+					n.Tag, counted[n.Tag], want)
+			}
+		}
+	}
+	return nil
+}

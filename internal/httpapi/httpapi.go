@@ -1,0 +1,196 @@
+// Package httpapi exposes a query.Store (and optional live pipeline
+// statistics) over HTTP as JSON — the integration surface a monitoring
+// dashboard or downstream warehouse application would consume.
+//
+// Routes (all GET):
+//
+//	/v1/stats                         pipeline/stream statistics
+//	/v1/objects                       all object tags
+//	/v1/objects/{tag}                 history, containments, missing reports
+//	/v1/objects/{tag}/at?t=<epoch>    location + container at time t
+//	/v1/locations/{id}/at?t=<epoch>   occupancy at time t
+//	/v1/missing?t=<epoch>             objects missing at time t
+//
+// The handler serves reads only; feeding the store concurrently with
+// serving requires external synchronization (the store is not
+// goroutine-safe), so deployments typically snapshot or serialize through
+// a single loop.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"spire/internal/model"
+	"spire/internal/query"
+)
+
+// StatsFunc supplies live statistics for /v1/stats.
+type StatsFunc func() any
+
+// Handler serves a query.Store.
+type Handler struct {
+	store *query.Store
+	stats StatsFunc
+	mux   *http.ServeMux
+}
+
+// New builds a Handler over store; stats may be nil.
+func New(store *query.Store, stats StatsFunc) *Handler {
+	h := &Handler{store: store, stats: stats, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/stats", h.handleStats)
+	h.mux.HandleFunc("/v1/objects", h.handleObjects)
+	h.mux.HandleFunc("/v1/objects/", h.handleObject)
+	h.mux.HandleFunc("/v1/locations/", h.handleLocation)
+	h.mux.HandleFunc("/v1/missing", h.handleMissing)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func epochParam(r *http.Request) (model.Epoch, error) {
+	s := r.URL.Query().Get("t")
+	if s == "" {
+		return 0, fmt.Errorf("missing query parameter t")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad epoch %q", s)
+	}
+	return model.Epoch(v), nil
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"events":  h.store.Events(),
+		"objects": len(h.store.Objects()),
+	}
+	if h.stats != nil {
+		resp["pipeline"] = h.stats()
+	}
+	writeJSON(w, resp)
+}
+
+func (h *Handler) handleObjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.store.Objects())
+}
+
+// stayJSON serializes validity intervals with "null" for open ends.
+type stayJSON struct {
+	Location model.LocationID `json:"location"`
+	Vs       model.Epoch      `json:"vs"`
+	Ve       *model.Epoch     `json:"ve"`
+}
+
+type containmentJSON struct {
+	Container model.Tag    `json:"container"`
+	Vs        model.Epoch  `json:"vs"`
+	Ve        *model.Epoch `json:"ve"`
+}
+
+func veJSON(ve model.Epoch) *model.Epoch {
+	if ve == model.InfiniteEpoch {
+		return nil
+	}
+	return &ve
+}
+
+func (h *Handler) handleObject(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/objects/")
+	parts := strings.Split(rest, "/")
+	tagN, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil || tagN == 0 {
+		http.Error(w, "bad object tag", http.StatusBadRequest)
+		return
+	}
+	tag := model.Tag(tagN)
+	switch {
+	case len(parts) == 1:
+		var stays []stayJSON
+		for _, s := range h.store.History(tag) {
+			stays = append(stays, stayJSON{Location: s.Location, Vs: s.Vs, Ve: veJSON(s.Ve)})
+		}
+		var conts []containmentJSON
+		for _, c := range h.store.Containments(tag) {
+			conts = append(conts, containmentJSON{Container: c.Container, Vs: c.Vs, Ve: veJSON(c.Ve)})
+		}
+		writeJSON(w, map[string]any{
+			"tag":          tag,
+			"history":      stays,
+			"containments": conts,
+			"missing":      h.store.MissingReports(tag),
+			"path":         h.store.Path(tag),
+		})
+	case len(parts) == 2 && parts[1] == "at":
+		t, err := epochParam(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := map[string]any{"tag": tag, "t": t}
+		if loc, ok := h.store.LocationAt(tag, t); ok {
+			resp["location"] = loc
+		} else {
+			resp["location"] = nil
+		}
+		if c, ok := h.store.ContainerAt(tag, t); ok {
+			resp["container"] = c
+			resp["topContainer"] = h.store.TopContainerAt(tag, t)
+		} else {
+			resp["container"] = nil
+		}
+		writeJSON(w, resp)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) handleLocation(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/locations/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[1] != "at" {
+		http.NotFound(w, r)
+		return
+	}
+	id, err := strconv.ParseInt(parts[0], 10, 32)
+	if err != nil || id < 0 {
+		http.Error(w, "bad location id", http.StatusBadRequest)
+		return
+	}
+	t, err := epochParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	objs := h.store.ObjectsAt(model.LocationID(id), t)
+	writeJSON(w, map[string]any{"location": id, "t": t, "objects": objs, "count": len(objs)})
+}
+
+func (h *Handler) handleMissing(w http.ResponseWriter, r *http.Request) {
+	t, err := epochParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	objs := h.store.MissingAt(t)
+	writeJSON(w, map[string]any{"t": t, "missing": objs, "count": len(objs)})
+}

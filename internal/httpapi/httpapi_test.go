@@ -1,0 +1,164 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/model"
+	"spire/internal/query"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *query.Store) {
+	t.Helper()
+	store := query.NewStore()
+	evs := []event.Event{
+		event.NewStartContainment(4, 2, 1),
+		event.NewStartLocation(2, 0, 1),
+		event.NewStartLocation(4, 0, 1),
+		event.NewEndLocation(4, 0, 1, 10),
+		event.NewStartLocation(4, 1, 10),
+		event.NewEndLocation(4, 1, 10, 20),
+		event.NewMissing(4, 1, 20),
+	}
+	if err := store.Feed(evs...); err != nil {
+		t.Fatal(err)
+	}
+	h := New(store, func() any { return map[string]int{"epochs": 20} })
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func get(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if wantStatus != http.StatusOK {
+		return nil
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return out
+}
+
+func TestStats(t *testing.T) {
+	srv, _ := newServer(t)
+	out := get(t, srv.URL+"/v1/stats", http.StatusOK)
+	if out["events"].(float64) != 7 {
+		t.Errorf("events = %v, want 7", out["events"])
+	}
+	if out["objects"].(float64) != 2 {
+		t.Errorf("objects = %v, want 2", out["objects"])
+	}
+	if out["pipeline"].(map[string]any)["epochs"].(float64) != 20 {
+		t.Errorf("pipeline stats missing: %v", out)
+	}
+}
+
+func TestObjectsList(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/v1/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tags []model.Tag
+	if err := json.NewDecoder(resp.Body).Decode(&tags); err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 || tags[0] != 2 || tags[1] != 4 {
+		t.Errorf("objects = %v, want [2 4]", tags)
+	}
+}
+
+func TestObjectDetail(t *testing.T) {
+	srv, _ := newServer(t)
+	out := get(t, srv.URL+"/v1/objects/4", http.StatusOK)
+	history := out["history"].([]any)
+	if len(history) != 2 {
+		t.Fatalf("history = %v, want 2 stays", history)
+	}
+	first := history[0].(map[string]any)
+	if first["ve"].(float64) != 10 {
+		t.Errorf("first stay ve = %v, want 10", first["ve"])
+	}
+	conts := out["containments"].([]any)
+	if len(conts) != 1 {
+		t.Fatalf("containments = %v", conts)
+	}
+	if conts[0].(map[string]any)["ve"] != nil {
+		t.Error("open containment must serialize ve=null")
+	}
+	if len(out["missing"].([]any)) != 1 {
+		t.Errorf("missing = %v, want 1 report", out["missing"])
+	}
+	if p := out["path"].([]any); len(p) != 2 {
+		t.Errorf("path = %v, want 2 locations", p)
+	}
+}
+
+func TestObjectAt(t *testing.T) {
+	srv, _ := newServer(t)
+	out := get(t, srv.URL+"/v1/objects/4/at?t=5", http.StatusOK)
+	if out["location"].(float64) != 0 {
+		t.Errorf("location = %v, want 0", out["location"])
+	}
+	if out["container"].(float64) != 2 {
+		t.Errorf("container = %v, want 2", out["container"])
+	}
+	if out["topContainer"].(float64) != 2 {
+		t.Errorf("topContainer = %v", out["topContainer"])
+	}
+	out = get(t, srv.URL+"/v1/objects/4/at?t=25", http.StatusOK)
+	if out["location"] != nil {
+		t.Errorf("missing object location = %v, want null", out["location"])
+	}
+}
+
+func TestLocationAt(t *testing.T) {
+	srv, _ := newServer(t)
+	out := get(t, srv.URL+"/v1/locations/0/at?t=5", http.StatusOK)
+	if out["count"].(float64) != 2 {
+		t.Errorf("count = %v, want 2", out["count"])
+	}
+}
+
+func TestMissingAt(t *testing.T) {
+	srv, _ := newServer(t)
+	out := get(t, srv.URL+"/v1/missing?t=25", http.StatusOK)
+	if out["count"].(float64) != 1 {
+		t.Errorf("count = %v, want 1", out["count"])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	srv, _ := newServer(t)
+	get(t, srv.URL+"/v1/objects/zzz", http.StatusBadRequest)
+	get(t, srv.URL+"/v1/objects/4/at", http.StatusBadRequest)
+	get(t, srv.URL+"/v1/objects/4/at?t=-3", http.StatusBadRequest)
+	get(t, srv.URL+"/v1/objects/4/bogus/extra", http.StatusNotFound)
+	get(t, srv.URL+"/v1/locations/0", http.StatusNotFound)
+	get(t, srv.URL+"/v1/locations/xx/at?t=1", http.StatusBadRequest)
+	get(t, srv.URL+"/v1/missing", http.StatusBadRequest)
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/objects", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,276 @@
+package inference
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spire/internal/graph"
+	"spire/internal/model"
+)
+
+// Result is the outcome of one inference pass: the most likely location
+// and most likely container per object.
+type Result struct {
+	Now     model.Epoch
+	Partial bool
+
+	// Locations maps each interpreted object to its most likely location,
+	// which may be model.LocationUnknown (the object is away from every
+	// known location — a missing object under complete inference).
+	// Objects whose verdict was withheld (partial inference) or that lie
+	// outside the partial halo are absent.
+	Locations map[model.Tag]model.LocationID
+
+	// Parents maps each interpreted object to its most likely container;
+	// model.NoTag records the positive verdict "no container". Objects
+	// outside the partial halo are absent.
+	Parents map[model.Tag]model.Tag
+
+	// Observed marks the objects read in this epoch (the colored nodes).
+	Observed map[model.Tag]bool
+}
+
+// Inferencer runs the iterative inference algorithm. It keeps reusable
+// scratch buffers, so one Inferencer should be reused across epochs; it is
+// not safe for concurrent use.
+type Inferencer struct {
+	cfg     Config
+	weights []float64 // Zipf table, sized to the graph's history length
+
+	// scratch reused across epochs
+	dist     map[model.Tag]int32
+	frontier []*graph.Node
+	next     []*graph.Node
+	edgeProb map[*graph.Edge]float64
+	probs    map[model.LocationID]float64
+	pruned   []*graph.Edge
+	props    []propagation
+}
+
+// propagation is one determined neighbor color feeding node inference.
+type propagation struct {
+	loc model.LocationID
+	p   float64
+}
+
+// New creates an Inferencer for graphs with the given co-location history
+// size.
+func New(cfg Config, historySize int) (*Inferencer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if historySize < 1 || historySize > graph.MaxHistorySize {
+		return nil, fmt.Errorf("inference: history size %d out of range", historySize)
+	}
+	return &Inferencer{
+		cfg:      cfg,
+		weights:  graph.ZipfWeights(historySize, cfg.Alpha),
+		dist:     make(map[model.Tag]int32),
+		edgeProb: make(map[*graph.Edge]float64),
+		probs:    make(map[model.LocationID]float64),
+	}, nil
+}
+
+// Config returns the inference parameters in use.
+func (inf *Inferencer) Config() Config { return inf.cfg }
+
+// Infer runs one inference pass over g for epoch now.
+//
+// The iterative algorithm (§IV-C) classifies nodes by their hop distance d
+// from the nearest colored node and sweeps outward: edge inference runs for
+// d=0 (observed) nodes first; then, layer by layer, edge inference followed
+// by node inference for uncolored nodes, so colors and edge probabilities
+// settled at distance d feed the inference at distance d+1. Nodes in
+// components with no colored node are processed last, in tag order, using
+// whatever colors have settled.
+//
+// Under Partial mode only nodes with d ≤ PartialHops are interpreted and
+// "unknown" location verdicts are withheld from the result (§IV-D).
+func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result {
+	res := &Result{
+		Now:       now,
+		Partial:   mode == Partial,
+		Locations: make(map[model.Tag]model.LocationID),
+		Parents:   make(map[model.Tag]model.Tag),
+		Observed:  make(map[model.Tag]bool),
+	}
+	clear(inf.dist)
+	clear(inf.edgeProb)
+
+	// Layer d=0: the colored nodes. Their location verdict is their
+	// observation; edge inference estimates their most likely parents.
+	inf.frontier = inf.frontier[:0]
+	g.EachColored(now, func(n *graph.Node) {
+		inf.dist[n.Tag] = 0
+		inf.frontier = append(inf.frontier, n)
+		res.Observed[n.Tag] = true
+		res.Locations[n.Tag] = n.RecentColor
+	})
+	sortNodes(inf.frontier)
+	for _, n := range inf.frontier {
+		res.Parents[n.Tag] = inf.edgeInference(g, n)
+	}
+
+	// Sweep outward, one hop at a time.
+	maxHops := int32(math.MaxInt32)
+	if mode == Partial {
+		maxHops = int32(inf.cfg.PartialHops)
+	}
+	for d := int32(1); d <= maxHops && len(inf.frontier) > 0; d++ {
+		inf.next = inf.next[:0]
+		for _, n := range inf.frontier {
+			n.VisitParents(func(e *graph.Edge) {
+				if _, seen := inf.dist[e.Parent.Tag]; !seen {
+					inf.dist[e.Parent.Tag] = d
+					inf.next = append(inf.next, e.Parent)
+				}
+			})
+			n.VisitChildren(func(e *graph.Edge) {
+				if _, seen := inf.dist[e.Child.Tag]; !seen {
+					inf.dist[e.Child.Tag] = d
+					inf.next = append(inf.next, e.Child)
+				}
+			})
+		}
+		inf.frontier, inf.next = inf.next, inf.frontier
+		sortNodes(inf.frontier)
+		for _, n := range inf.frontier {
+			res.Parents[n.Tag] = inf.edgeInference(g, n)
+			loc := inf.nodeInference(n, now, res)
+			if mode == Partial && loc == model.LocationUnknown {
+				// Withhold: with only a subset of readers having read this
+				// epoch, "unknown" is more likely a not-yet-read location
+				// than a true disappearance.
+				delete(res.Parents, n.Tag)
+				continue
+			}
+			res.Locations[n.Tag] = loc
+		}
+	}
+
+	if mode == Complete {
+		// Components with no colored node (every member unobserved).
+		var rest []*graph.Node
+		g.Nodes(func(n *graph.Node) {
+			if _, seen := inf.dist[n.Tag]; !seen {
+				rest = append(rest, n)
+			}
+		})
+		sortNodes(rest)
+		for _, n := range rest {
+			res.Parents[n.Tag] = inf.edgeInference(g, n)
+			res.Locations[n.Tag] = inf.nodeInference(n, now, res)
+		}
+	}
+	return res
+}
+
+// edgeInference applies Eqs. 1-2 to the incoming edges of n, stores each
+// edge's probability for later color propagation, optionally prunes
+// low-confidence edges, and returns the most likely container (model.NoTag
+// when none).
+func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
+	if n.NumParents() == 0 {
+		return model.NoTag
+	}
+	beta := inf.cfg.Beta
+	if inf.cfg.AdaptiveBeta {
+		beta = n.AdaptiveBeta(inf.cfg.Beta)
+	}
+
+	inf.pruned = inf.pruned[:0]
+	var z float64
+	var best *graph.Edge
+	var bestConf float64
+	n.VisitParents(func(e *graph.Edge) {
+		conf := beta * e.History.Weight(inf.weights)
+		if n.ConfirmedEdge == e {
+			conf += 1 - beta
+		}
+		if inf.cfg.PruneThreshold > 0 && conf < inf.cfg.PruneThreshold {
+			inf.pruned = append(inf.pruned, e)
+			return
+		}
+		z += conf
+		inf.edgeProb[e] = conf // normalized below
+		if best == nil || conf > bestConf ||
+			(conf == bestConf && e.Parent.Tag < best.Parent.Tag) {
+			best, bestConf = e, conf
+		}
+	})
+	for _, e := range inf.pruned {
+		g.RemoveEdge(e)
+		delete(inf.edgeProb, e)
+	}
+	if best == nil || z == 0 {
+		// No surviving edge carries any belief: report "no container"
+		// rather than an arbitrary pick.
+		return model.NoTag
+	}
+	n.VisitParents(func(e *graph.Edge) {
+		inf.edgeProb[e] /= z
+	})
+	return best.Parent.Tag
+}
+
+// nodeInference applies Eqs. 3-4 to an uncolored node and returns the most
+// likely location color, possibly model.LocationUnknown. Colors settled in
+// res.Locations propagate through incident edges weighted by the edge
+// probabilities assigned during edge inference.
+func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result) model.LocationID {
+	clear(inf.probs)
+	gamma := inf.cfg.Gamma
+
+	// The fading belief in the most recent observation.
+	fade := 0.0
+	if n.SeenAt != model.EpochNone && n.RecentColor.Known() {
+		age := float64(now - n.SeenAt)
+		if age < 1 {
+			age = 1
+		}
+		fade = 1 / math.Pow(age, inf.cfg.Theta)
+		inf.probs[n.RecentColor] += (1 - gamma) * fade
+	}
+	pUnknown := (1 - gamma) * (1 - fade)
+
+	// Colors propagated through edges from neighbors whose color is
+	// already determined (observed or inferred in an earlier layer),
+	// weighted by edge probability and normalized by Z2 over the
+	// propagating edges only.
+	var z2 float64
+	inf.props = inf.props[:0]
+	collect := func(e *graph.Edge, other *graph.Node) {
+		loc, ok := res.Locations[other.Tag]
+		if !ok || !loc.Known() {
+			return
+		}
+		p, ok := inf.edgeProb[e]
+		if !ok || p == 0 {
+			return
+		}
+		z2 += p
+		inf.props = append(inf.props, propagation{loc: loc, p: p})
+	}
+	n.VisitParents(func(e *graph.Edge) { collect(e, e.Parent) })
+	n.VisitChildren(func(e *graph.Edge) { collect(e, e.Child) })
+	if z2 > 0 {
+		for _, pr := range inf.props {
+			inf.probs[pr.loc] += gamma * pr.p / z2
+		}
+	}
+
+	// Most likely color; known locations win ties against "unknown", and
+	// lower location IDs win ties among known locations (determinism).
+	best, bestP := model.LocationUnknown, pUnknown
+	for loc, p := range inf.probs {
+		if p > bestP || (p == bestP && (best == model.LocationUnknown || loc < best)) {
+			best, bestP = loc, p
+		}
+	}
+	return best
+}
+
+func sortNodes(nodes []*graph.Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Tag < nodes[j].Tag })
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/inference"
+	"spire/internal/model"
+)
+
+func TestAccuracy(t *testing.T) {
+	res := &inference.Result{
+		Now: 5,
+		Locations: map[model.Tag]model.LocationID{
+			1: 0, // correct
+			2: 1, // wrong (truth 0)
+			3: 0, // excluded
+			4: 0, // departed (truth none)
+		},
+		Parents: map[model.Tag]model.Tag{
+			1: model.NoTag, // correct
+			2: 9,           // wrong (truth none)
+		},
+	}
+	truthLoc := func(g model.Tag) model.LocationID {
+		if g == 4 {
+			return model.LocationNone
+		}
+		return 0
+	}
+	truthParent := func(model.Tag) model.Tag { return model.NoTag }
+	exclude := func(g model.Tag) bool { return g == 3 }
+
+	var a Accuracy
+	a.Observe(res, truthLoc, truthParent, exclude)
+	if a.LocTotal != 2 || a.LocWrong != 1 {
+		t.Errorf("location counts = %d/%d, want 1/2", a.LocWrong, a.LocTotal)
+	}
+	if a.ContTotal != 2 || a.ContWrong != 1 {
+		t.Errorf("containment counts = %d/%d, want 1/2", a.ContWrong, a.ContTotal)
+	}
+	if got := a.LocationErrorRate(); got != 0.5 {
+		t.Errorf("location error = %v, want 0.5", got)
+	}
+	if got := a.ContainmentErrorRate(); got != 0.5 {
+		t.Errorf("containment error = %v, want 0.5", got)
+	}
+	var empty Accuracy
+	if empty.LocationErrorRate() != 0 || empty.ContainmentErrorRate() != 0 {
+		t.Error("empty accumulator must report zero error")
+	}
+}
+
+func TestScoreEventsPerfect(t *testing.T) {
+	evs := []event.Event{
+		event.NewStartLocation(1, 0, 1),
+		event.NewEndLocation(1, 0, 1, 5),
+		event.NewStartContainment(1, 2, 1),
+	}
+	s := ScoreEvents(evs, evs, 0)
+	if s.Precision != 1 || s.Recall != 1 || s.F != 1 {
+		t.Errorf("perfect match scored %+v", s)
+	}
+}
+
+func TestScoreEventsExtraAndMissing(t *testing.T) {
+	truth := []event.Event{
+		event.NewStartLocation(1, 0, 1),
+		event.NewStartLocation(1, 1, 10),
+	}
+	// Output flaps: reports location 0 twice, never sees location 1.
+	out := []event.Event{
+		event.NewStartLocation(1, 0, 1),
+		event.NewStartLocation(1, 0, 6),
+	}
+	s := ScoreEvents(out, truth, -1)
+	if s.Matched != 1 {
+		t.Fatalf("matched = %d, want 1", s.Matched)
+	}
+	if s.Precision != 0.5 || s.Recall != 0.5 {
+		t.Errorf("precision/recall = %v/%v, want 0.5/0.5", s.Precision, s.Recall)
+	}
+	wantF := 2 * 0.5 * 0.5 / (0.5 + 0.5)
+	if math.Abs(s.F-wantF) > 1e-12 {
+		t.Errorf("F = %v, want %v", s.F, wantF)
+	}
+}
+
+func TestScoreEventsTolerance(t *testing.T) {
+	truth := []event.Event{event.NewStartLocation(1, 0, 10)}
+	out := []event.Event{event.NewStartLocation(1, 0, 13)}
+	if s := ScoreEvents(out, truth, 2); s.Matched != 0 {
+		t.Error("match beyond tolerance must not count")
+	}
+	if s := ScoreEvents(out, truth, 3); s.Matched != 1 {
+		t.Error("match within tolerance must count")
+	}
+	if s := ScoreEvents(out, truth, -1); s.Matched != 1 {
+		t.Error("negative tolerance must be unlimited")
+	}
+}
+
+func TestScoreEventsDistinguishesPayload(t *testing.T) {
+	truth := []event.Event{event.NewStartLocation(1, 0, 1)}
+	out := []event.Event{event.NewStartLocation(1, 1, 1)} // wrong location
+	if s := ScoreEvents(out, truth, -1); s.Matched != 0 {
+		t.Error("different payloads must not match")
+	}
+	out = []event.Event{event.NewEndLocation(1, 0, 1, 1)} // wrong kind
+	if s := ScoreEvents(out, truth, -1); s.Matched != 0 {
+		t.Error("different kinds must not match")
+	}
+}
+
+func TestScoreEventsEmpty(t *testing.T) {
+	s := ScoreEvents(nil, nil, 0)
+	if s.Precision != 0 || s.Recall != 0 || s.F != 0 {
+		t.Errorf("empty score = %+v", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(20, 100); got != 0.2 {
+		t.Errorf("Ratio = %v, want 0.2", got)
+	}
+	if got := Ratio(5, 0); got != 0 {
+		t.Errorf("Ratio with zero input = %v, want 0", got)
+	}
+}
+
+func TestDetectionDelays(t *testing.T) {
+	thefts := map[model.Tag]model.Epoch{10: 100, 20: 200, 30: 300}
+	out := []event.Event{
+		event.NewMissing(10, 0, 130),       // delay 30
+		event.NewMissing(10, 0, 150),       // later duplicate ignored
+		event.NewMissing(20, 0, 190),       // before the theft: ignored
+		event.NewMissing(20, 0, 260),       // delay 60
+		event.NewMissing(99, 0, 5),         // unrelated object
+		event.NewStartLocation(30, 0, 310), // not a Missing
+	}
+	d := DetectionDelays(out, thefts)
+	if d.Total != 3 || d.Detected != 2 {
+		t.Fatalf("detected %d/%d, want 2/3", d.Detected, d.Total)
+	}
+	if d.MeanDelay != 45 {
+		t.Errorf("mean delay = %v, want 45", d.MeanDelay)
+	}
+	if d.MaxDelay != 60 {
+		t.Errorf("max delay = %v, want 60", d.MaxDelay)
+	}
+	empty := DetectionDelays(nil, nil)
+	if empty.Total != 0 || empty.Detected != 0 || empty.MeanDelay != 0 {
+		t.Errorf("empty detection = %+v", empty)
+	}
+}

@@ -1,0 +1,253 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// World is the ground-truth state of the physical world at the current
+// epoch: which objects reside where and which object contains which
+// (Section II of the paper). The simulator mutates a World as objects move;
+// the metrics package compares inference output against it.
+//
+// World is not safe for concurrent mutation.
+type World struct {
+	now       Epoch
+	locations []Location
+	objects   map[Tag]*ObjectState
+}
+
+// ObjectState is the ground truth for one object.
+type ObjectState struct {
+	Tag      Tag
+	Level    Level
+	Location LocationID // LocationUnknown when stolen/in transit
+	// Parent is the containing object, or NoTag when the object is not
+	// contained (a top-level container, or a loose item).
+	Parent Tag
+	// Children are the directly contained objects.
+	Children map[Tag]struct{}
+	// Entered and Departed bound the object's presence in the world.
+	Entered  Epoch
+	Departed Epoch // EpochNone while present
+}
+
+// NewWorld creates an empty world with the given pre-defined locations.
+// Location IDs must be dense, starting at 0, and match their slice index.
+func NewWorld(locations []Location) (*World, error) {
+	for i, l := range locations {
+		if l.ID != LocationID(i) {
+			return nil, fmt.Errorf("model: location %q has ID %v, want L%d", l.Name, l.ID, i)
+		}
+	}
+	return &World{
+		locations: locations,
+		objects:   make(map[Tag]*ObjectState),
+	}, nil
+}
+
+// Now returns the world's current epoch.
+func (w *World) Now() Epoch { return w.now }
+
+// SetNow advances the world clock. Time never moves backwards.
+func (w *World) SetNow(t Epoch) {
+	if t > w.now {
+		w.now = t
+	}
+}
+
+// Locations returns the pre-defined location table (excluding the special
+// "unknown" location).
+func (w *World) Locations() []Location { return w.locations }
+
+// NumLocations returns the number of pre-defined locations.
+func (w *World) NumLocations() int { return len(w.locations) }
+
+// Enter adds a new object to the world at the given location.
+func (w *World) Enter(tag Tag, lvl Level, loc LocationID) (*ObjectState, error) {
+	if tag == NoTag {
+		return nil, fmt.Errorf("model: cannot enter the zero tag")
+	}
+	if _, ok := w.objects[tag]; ok {
+		return nil, fmt.Errorf("model: tag %d already present", tag)
+	}
+	st := &ObjectState{
+		Tag:      tag,
+		Level:    lvl,
+		Location: loc,
+		Parent:   NoTag,
+		Children: make(map[Tag]struct{}),
+		Entered:  w.now,
+		Departed: EpochNone,
+	}
+	w.objects[tag] = st
+	return st, nil
+}
+
+// Depart removes an object (and not its children — callers must uncontain
+// or depart children explicitly) from the world through a proper channel.
+func (w *World) Depart(tag Tag) error {
+	st, ok := w.objects[tag]
+	if !ok {
+		return fmt.Errorf("model: depart: tag %d not present", tag)
+	}
+	if len(st.Children) > 0 {
+		return fmt.Errorf("model: depart: tag %d still contains %d objects", tag, len(st.Children))
+	}
+	if st.Parent != NoTag {
+		w.Uncontain(tag)
+	}
+	st.Departed = w.now
+	delete(w.objects, tag)
+	return nil
+}
+
+// Steal marks the object as improperly removed: it stays in the object
+// table (applications still ask about it) but its true location becomes
+// "unknown". Containment with its parent, if any, is severed, matching the
+// simulator's theft events.
+func (w *World) Steal(tag Tag) error {
+	st, ok := w.objects[tag]
+	if !ok {
+		return fmt.Errorf("model: steal: tag %d not present", tag)
+	}
+	if st.Parent != NoTag {
+		w.Uncontain(tag)
+	}
+	w.moveSubtree(st, LocationUnknown)
+	return nil
+}
+
+// Lookup returns the ground-truth state of a tag, or nil if absent.
+func (w *World) Lookup(tag Tag) *ObjectState { return w.objects[tag] }
+
+// Resides implements the paper's _resides(o, l, t) for t = now.
+func (w *World) Resides(tag Tag, loc LocationID) bool {
+	st, ok := w.objects[tag]
+	return ok && st.Location == loc
+}
+
+// Contained implements the paper's _contained(o_i, o_j, l, t) for t = now:
+// true iff o_i is directly contained in o_j and both are at loc.
+func (w *World) Contained(inner, outer Tag, loc LocationID) bool {
+	st, ok := w.objects[inner]
+	if !ok || st.Parent != outer {
+		return false
+	}
+	return st.Location == loc && w.Resides(outer, loc)
+}
+
+// ParentOf returns the ground-truth direct container of tag (NoTag if
+// none or if the tag is absent).
+func (w *World) ParentOf(tag Tag) Tag {
+	if st, ok := w.objects[tag]; ok {
+		return st.Parent
+	}
+	return NoTag
+}
+
+// LocationOf returns the ground-truth location of tag (LocationUnknown if
+// the tag is stolen; LocationNone if the tag is absent from the world).
+func (w *World) LocationOf(tag Tag) LocationID {
+	if st, ok := w.objects[tag]; ok {
+		return st.Location
+	}
+	return LocationNone
+}
+
+// Contain places inner directly inside outer. Both objects must be present
+// and inner must not already have a parent; inner (and its subtree) moves
+// to outer's location.
+func (w *World) Contain(inner, outer Tag) error {
+	in, ok := w.objects[inner]
+	if !ok {
+		return fmt.Errorf("model: contain: inner tag %d not present", inner)
+	}
+	out, ok := w.objects[outer]
+	if !ok {
+		return fmt.Errorf("model: contain: outer tag %d not present", outer)
+	}
+	if in.Parent != NoTag {
+		return fmt.Errorf("model: contain: tag %d already contained in %d", inner, in.Parent)
+	}
+	if inner == outer {
+		return fmt.Errorf("model: contain: tag %d cannot contain itself", inner)
+	}
+	in.Parent = outer
+	out.Children[inner] = struct{}{}
+	w.moveSubtree(in, out.Location)
+	return nil
+}
+
+// Uncontain severs the containment between tag and its parent, if any.
+func (w *World) Uncontain(tag Tag) {
+	st, ok := w.objects[tag]
+	if !ok || st.Parent == NoTag {
+		return
+	}
+	if p, ok := w.objects[st.Parent]; ok {
+		delete(p.Children, tag)
+	}
+	st.Parent = NoTag
+}
+
+// Move relocates an object and, transitively, everything it contains.
+func (w *World) Move(tag Tag, loc LocationID) error {
+	st, ok := w.objects[tag]
+	if !ok {
+		return fmt.Errorf("model: move: tag %d not present", tag)
+	}
+	w.moveSubtree(st, loc)
+	return nil
+}
+
+func (w *World) moveSubtree(st *ObjectState, loc LocationID) {
+	st.Location = loc
+	for c := range st.Children {
+		if cs, ok := w.objects[c]; ok {
+			w.moveSubtree(cs, loc)
+		}
+	}
+}
+
+// Objects returns the tags of all present objects in ascending order.
+func (w *World) Objects() []Tag {
+	out := make([]Tag, 0, len(w.objects))
+	for t := range w.objects {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of objects currently in the world.
+func (w *World) Len() int { return len(w.objects) }
+
+// At returns the tags of all objects currently at loc, in ascending order.
+func (w *World) At(loc LocationID) []Tag {
+	var out []Tag
+	for t, st := range w.objects {
+		if st.Location == loc {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopLevelContainer follows parent links to the outermost container of
+// tag. A loose object is its own top-level container.
+func (w *World) TopLevelContainer(tag Tag) Tag {
+	st, ok := w.objects[tag]
+	if !ok {
+		return NoTag
+	}
+	for st.Parent != NoTag {
+		p, ok := w.objects[st.Parent]
+		if !ok {
+			break
+		}
+		st = p
+	}
+	return st.Tag
+}

@@ -1,0 +1,66 @@
+package query
+
+import (
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// benchStream builds a well-formed stream of nObjects moving through 8
+// locations over many epochs.
+func benchStream(nObjects, moves int) []event.Event {
+	var out []event.Event
+	loc := make([]model.LocationID, nObjects)
+	since := make([]model.Epoch, nObjects)
+	for i := 0; i < nObjects; i++ {
+		out = append(out, event.NewStartLocation(model.Tag(i+1), 0, 1))
+		since[i] = 1
+	}
+	t := model.Epoch(1)
+	for m := 0; m < moves; m++ {
+		t += 5
+		i := m % nObjects
+		g := model.Tag(i + 1)
+		out = append(out,
+			event.NewEndLocation(g, loc[i], since[i], t),
+			event.NewStartLocation(g, (loc[i]+1)%8, t))
+		loc[i] = (loc[i] + 1) % 8
+		since[i] = t
+	}
+	return out
+}
+
+func BenchmarkStoreFeed(b *testing.B) {
+	evs := benchStream(1000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStore()
+		if err := s.Feed(evs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events")
+}
+
+func BenchmarkLocationAt(b *testing.B) {
+	s := NewStore()
+	if err := s.Feed(benchStream(1000, 20000)...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LocationAt(model.Tag(i%1000+1), model.Epoch(i%100000))
+	}
+}
+
+func BenchmarkObjectsAt(b *testing.B) {
+	s := NewStore()
+	if err := s.Feed(benchStream(1000, 20000)...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObjectsAt(model.LocationID(i%8), model.Epoch(i%100000))
+	}
+}

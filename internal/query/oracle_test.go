@@ -1,0 +1,146 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"spire/internal/compress"
+	"spire/internal/inference"
+	"spire/internal/model"
+)
+
+// TestStoreAgainstOracle drives random state sequences through the
+// level-1 compressor into a Store and cross-checks every point query
+// against the known per-epoch state — the Store's answers must equal what
+// the compressor was told, at every (object, epoch) pair.
+func TestStoreAgainstOracle(t *testing.T) {
+	levelOf := func(g model.Tag) model.Level {
+		switch {
+		case g >= 300:
+			return model.LevelItem
+		case g >= 200:
+			return model.LevelCase
+		default:
+			return model.LevelPallet
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tags := []model.Tag{100, 200, 201, 300, 301, 302}
+		comp := compress.NewLevel1(levelOf)
+		store := NewStore()
+
+		// Oracle state per epoch.
+		type state struct {
+			loc    map[model.Tag]model.LocationID
+			parent map[model.Tag]model.Tag
+		}
+		var history []state
+
+		loc := map[model.Tag]model.LocationID{}
+		parent := map[model.Tag]model.Tag{}
+		for _, g := range tags {
+			loc[g] = model.LocationID(rng.Intn(3))
+			parent[g] = model.NoTag
+		}
+		const epochs = 200
+		for e := 1; e <= epochs; e++ {
+			// Random mutations, preserving the containment invariant
+			// (child location follows parent).
+			for _, g := range tags {
+				switch r := rng.Float64(); {
+				case r < 0.05:
+					loc[g] = model.LocationUnknown
+				case r < 0.15:
+					loc[g] = model.LocationID(rng.Intn(3))
+				}
+			}
+			for _, g := range tags {
+				if levelOf(g) == model.LevelPallet {
+					continue
+				}
+				if rng.Float64() < 0.05 {
+					if parent[g] != model.NoTag {
+						parent[g] = model.NoTag
+					} else {
+						// Attach to a random higher-level located object.
+						var cands []model.Tag
+						for _, p := range tags {
+							if levelOf(p) > levelOf(g) && loc[p].Known() {
+								cands = append(cands, p)
+							}
+						}
+						if len(cands) > 0 {
+							parent[g] = cands[rng.Intn(len(cands))]
+						}
+					}
+				}
+			}
+			// Children inherit their parent's location (post-conflict
+			// invariant).
+			for _, g := range tags {
+				if p := parent[g]; p != model.NoTag {
+					top := p
+					for parent[top] != model.NoTag {
+						top = parent[top]
+					}
+					loc[g] = loc[top]
+				}
+			}
+
+			res := &inference.Result{
+				Now:       model.Epoch(e),
+				Locations: make(map[model.Tag]model.LocationID),
+				Parents:   make(map[model.Tag]model.Tag),
+				Observed:  map[model.Tag]bool{},
+			}
+			snap := state{loc: map[model.Tag]model.LocationID{}, parent: map[model.Tag]model.Tag{}}
+			for _, g := range tags {
+				res.Locations[g] = loc[g]
+				res.Parents[g] = parent[g]
+				snap.loc[g] = loc[g]
+				snap.parent[g] = parent[g]
+			}
+			history = append(history, snap)
+			if err := store.Feed(comp.Compress(res)...); err != nil {
+				t.Fatalf("seed %d epoch %d: %v", seed, e, err)
+			}
+		}
+		if err := store.Feed(comp.Close(epochs + 1)...); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cross-check every object at sampled epochs.
+		for e := 1; e <= epochs; e += 7 {
+			snap := history[e-1]
+			at := model.Epoch(e)
+			for _, g := range tags {
+				wantLoc := snap.loc[g]
+				gotLoc, ok := store.LocationAt(g, at)
+				if wantLoc.Known() != ok || (ok && gotLoc != wantLoc) {
+					t.Fatalf("seed %d: LocationAt(%d, %d) = %v,%v; oracle %v",
+						seed, g, at, gotLoc, ok, wantLoc)
+				}
+				wantPar := snap.parent[g]
+				gotPar, ok := store.ContainerAt(g, at)
+				if (wantPar != model.NoTag) != ok || (ok && gotPar != wantPar) {
+					t.Fatalf("seed %d: ContainerAt(%d, %d) = %v,%v; oracle %v",
+						seed, g, at, gotPar, ok, wantPar)
+				}
+				if wantLoc.Known() {
+					objs := store.ObjectsAt(wantLoc, at)
+					found := false
+					for _, o := range objs {
+						if o == g {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("seed %d: ObjectsAt(%v, %d) missing %d", seed, wantLoc, at, g)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package query
+
+import (
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// Filter selects events by kind and payload. The zero value matches
+// every event: an empty Kinds list matches all kinds and Object/Container
+// equal to model.NoTag match any object. Location filtering is opted into
+// with FilterLocation, since the zero LocationID names a real location.
+type Filter struct {
+	Kinds     []event.Kind
+	Object    model.Tag
+	Container model.Tag
+
+	// Location restricts to location-kind events at this location when
+	// FilterLocation is set.
+	Location       model.LocationID
+	FilterLocation bool
+}
+
+// Match reports whether e passes the filter.
+func (f Filter) Match(e event.Event) bool {
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if e.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Object != model.NoTag && e.Object != f.Object {
+		return false
+	}
+	if f.FilterLocation && (!e.Kind.Location() || e.Location != f.Location) {
+		return false
+	}
+	if f.Container != model.NoTag && (!e.Kind.Containment() || e.Container != f.Container) {
+		return false
+	}
+	return true
+}
+
+// Watcher dispatches streaming events to filtered subscribers — the
+// "monitoring application" side of the substrate. It is not safe for
+// concurrent use; drive it from the pipeline loop.
+type Watcher struct {
+	subs   map[int]subscription
+	nextID int
+}
+
+type subscription struct {
+	filter Filter
+	fn     func(event.Event)
+}
+
+// NewWatcher returns an empty watcher.
+func NewWatcher() *Watcher {
+	return &Watcher{subs: make(map[int]subscription)}
+}
+
+// Subscribe registers fn for events passing the filter and returns a
+// subscription id for Unsubscribe.
+func (w *Watcher) Subscribe(f Filter, fn func(event.Event)) int {
+	w.nextID++
+	w.subs[w.nextID] = subscription{filter: f, fn: fn}
+	return w.nextID
+}
+
+// Unsubscribe removes a subscription; unknown ids are ignored.
+func (w *Watcher) Unsubscribe(id int) { delete(w.subs, id) }
+
+// Dispatch feeds events to every matching subscriber, in subscription
+// order for determinism.
+func (w *Watcher) Dispatch(events ...event.Event) {
+	if len(w.subs) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(w.subs))
+	for id := range w.subs {
+		ids = append(ids, id)
+	}
+	// Insertion sort keeps this allocation-light for the common few-subs
+	// case.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, e := range events {
+		for _, id := range ids {
+			s, ok := w.subs[id]
+			if ok && s.filter.Match(e) {
+				s.fn(e)
+			}
+		}
+	}
+}
