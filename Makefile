@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench cover experiments experiments-full tools clean
+.PHONY: all build test race bench bench-json cover experiments experiments-full tools clean
 
 all: build test
 
@@ -11,10 +11,18 @@ build:
 test:
 	go test ./...
 
-# Regenerates every paper table/figure at quick scale via the root
-# benchmark harness.
+race:
+	go test -race ./...
+
+# Go benchmarks only (-run '^$$' skips the unit tests, which `make test`
+# already covers).
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run '^$$' -bench=. -benchmem ./...
+
+# Quick-scale experiment tables plus a machine-readable snapshot, for
+# tracking headline metrics across revisions.
+bench-json:
+	go run ./cmd/spirebench -quick -expt all -json BENCH_$$(date +%Y%m%d_%H%M%S).json
 
 cover:
 	go test -cover ./internal/...

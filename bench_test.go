@@ -15,10 +15,15 @@ import (
 	"spire/internal/experiments"
 )
 
-var benchOpts = experiments.Options{Quick: true}
+// Benchmarks run their sweep cells serially (Workers: 1) so per-op times
+// and the custom timing metrics stay comparable across machines and with
+// earlier revisions; `spirebench -j` is where parallel wall clock is
+// measured.
+var benchOpts = experiments.Options{Quick: true, Workers: 1}
 
 func runTable(b *testing.B, f func(experiments.Options) (*experiments.Table, error)) *experiments.Table {
 	b.Helper()
+	b.ReportAllocs()
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -97,6 +102,7 @@ func BenchmarkFig10Memory(b *testing.B) {
 // is shared; each bench reruns it so the reported time reflects one
 // artifact's cost honestly.
 func BenchmarkFig11aFMeasure(b *testing.B) {
+	b.ReportAllocs()
 	var a *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -115,6 +121,7 @@ func BenchmarkFig11aFMeasure(b *testing.B) {
 }
 
 func BenchmarkFig11bCompressionLocation(b *testing.B) {
+	b.ReportAllocs()
 	var tb *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -130,6 +137,7 @@ func BenchmarkFig11bCompressionLocation(b *testing.B) {
 }
 
 func BenchmarkFig11cCompressionFull(b *testing.B) {
+	b.ReportAllocs()
 	var tc *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error

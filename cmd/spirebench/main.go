@@ -3,16 +3,21 @@
 //
 //	spirebench -list
 //	spirebench -expt fig9d -quick
-//	spirebench -expt all > results.txt
+//	spirebench -expt all -j 8 > results.txt
+//	spirebench -expt all -quick -json bench.json
 //
 // Full runs replicate the paper's multi-hour workloads and can take a
 // long time; -quick shrinks every workload while preserving the shapes.
+// Independent sweep cells run concurrently (-j, default all CPUs); table
+// output is identical for any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,11 +31,42 @@ func main() {
 	}
 }
 
+// benchReport is the machine-readable run summary written by -json, so
+// headline metrics can accumulate across revisions (BENCH_*.json).
+type benchReport struct {
+	Quick        bool               `json:"quick"`
+	Workers      int                `json:"workers"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	TotalSeconds float64            `json:"total_seconds"`
+	Experiments  []benchExperiment  `json:"experiments"`
+	Headline     map[string]float64 `json:"headline"`
+}
+
+type benchExperiment struct {
+	ID      string       `json:"id"`
+	Seconds float64      `json:"seconds"`
+	Tables  []benchTable `json:"tables"`
+}
+
+type benchTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    []benchRow `json:"rows"`
+}
+
+type benchRow struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
 func run() error {
 	var (
-		expt  = flag.String("expt", "all", "experiment id, comma-separated list, or 'all'")
-		quick = flag.Bool("quick", false, "shrunken workloads (minutes instead of hours)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		expt     = flag.String("expt", "all", "experiment id, comma-separated list, or 'all'")
+		quick    = flag.Bool("quick", false, "shrunken workloads (minutes instead of hours)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		workers  = flag.Int("j", runtime.NumCPU(), "max concurrently running sweep cells")
+		jsonPath = flag.String("json", "", "also write results as JSON to this path")
 	)
 	flag.Parse()
 
@@ -63,20 +99,102 @@ func run() error {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Workers: *workers}
+	report := benchReport{Quick: *quick, Workers: *workers, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	suiteStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := reg[id](opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		elapsed := time.Since(start)
+		be := benchExperiment{ID: id, Seconds: elapsed.Seconds()}
 		for _, t := range tables {
 			if _, err := t.WriteTo(os.Stdout); err != nil {
 				return err
 			}
 			fmt.Println()
+			bt := benchTable{ID: t.ID, Title: t.Title, Columns: t.Columns}
+			for _, r := range t.Rows {
+				bt.Rows = append(bt.Rows, benchRow{Label: r.Label, Values: r.Values})
+			}
+			be.Tables = append(be.Tables, bt)
 		}
-		fmt.Fprintf(os.Stderr, "spirebench: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, be)
+		fmt.Fprintf(os.Stderr, "spirebench: %s done in %v\n", id, elapsed.Round(time.Millisecond))
+	}
+	report.TotalSeconds = time.Since(suiteStart).Seconds()
+
+	if *jsonPath != "" {
+		report.Headline = headline(report.Experiments)
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spirebench: wrote %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// headline extracts the cross-revision trackable metrics: Table III
+// seconds-per-epoch at the largest size, Fig. 11 compression ratios and
+// F-measures at the sweep's highest read rate, and total wall clock.
+func headline(exps []benchExperiment) map[string]float64 {
+	h := make(map[string]float64)
+	cell := func(t benchTable, label, column string) (float64, bool) {
+		for ci, c := range t.Columns {
+			if c != column {
+				continue
+			}
+			for _, r := range t.Rows {
+				if r.Label == label && ci < len(r.Values) {
+					return r.Values[ci], true
+				}
+			}
+		}
+		return 0, false
+	}
+	for _, e := range exps {
+		for _, t := range e.Tables {
+			if len(t.Rows) == 0 {
+				continue
+			}
+			last := t.Rows[len(t.Rows)-1]
+			switch t.ID {
+			case "table3":
+				if len(last.Values) == 3 {
+					h["table3_s_per_epoch_max"] = last.Values[2]
+					h["table3_update_s_max"] = last.Values[0]
+					h["table3_inference_s_max"] = last.Values[1]
+				}
+			case "fig11a":
+				if v, ok := cell(t, last.Label, "SPIRE"); ok {
+					h["fig11a_spire_f_max_rate"] = v
+				}
+				if v, ok := cell(t, last.Label, "SMURF"); ok {
+					h["fig11a_smurf_f_max_rate"] = v
+				}
+			case "fig11b":
+				if v, ok := cell(t, last.Label, "SPIRE L1"); ok {
+					h["fig11b_l1_ratio_max_rate"] = v
+				}
+				if v, ok := cell(t, last.Label, "SPIRE L2"); ok {
+					h["fig11b_l2_ratio_max_rate"] = v
+				}
+			case "fig11c":
+				if v, ok := cell(t, last.Label, "L1 full"); ok {
+					h["fig11c_l1_full_ratio_max_rate"] = v
+				}
+				if v, ok := cell(t, last.Label, "L2 full"); ok {
+					h["fig11c_l2_full_ratio_max_rate"] = v
+				}
+			}
+		}
+	}
+	return h
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"time"
 
@@ -101,6 +102,11 @@ type Substrate struct {
 	stats    Stats
 	lastNow  model.Epoch
 
+	// raw is the pooled KeepRawResult copy, reset and refilled each epoch
+	// instead of allocating fresh maps; it shares the Result lifetime
+	// contract of ProcessEpoch.
+	raw inference.Result
+
 	// tombstones are tags already retired through an exit. A retired
 	// object is often still within the exit reader's range for a few more
 	// epochs, so readings of tombstoned tags by exit readers are ignored —
@@ -193,6 +199,11 @@ func (s *Substrate) Stats() Stats { return s.stats }
 // ProcessEpoch runs the full substrate over one epoch's observation:
 // dedup → graph update (per reader) → inference → conflict resolution →
 // compression → exit retirement.
+//
+// The Result and RawResult in the returned output reuse buffers owned by
+// the substrate: they stay valid until the next ProcessEpoch call. Callers
+// that retain an epoch's results longer — or ship them to another
+// goroutine, as Runner does — must Clone them first.
 func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 	if o == nil {
 		return nil, fmt.Errorf("core: nil observation")
@@ -247,19 +258,19 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 	res := s.inf.Infer(s.graph, now, mode)
 	var raw *inference.Result
 	if s.cfg.KeepRawResult {
-		raw = &inference.Result{
-			Now:       res.Now,
-			Partial:   res.Partial,
-			Locations: make(map[model.Tag]model.LocationID, len(res.Locations)),
-			Parents:   make(map[model.Tag]model.Tag, len(res.Parents)),
-			Observed:  res.Observed,
+		raw = &s.raw
+		raw.Now = res.Now
+		raw.Partial = res.Partial
+		raw.Observed = res.Observed
+		if raw.Locations == nil {
+			raw.Locations = make(map[model.Tag]model.LocationID, len(res.Locations))
+			raw.Parents = make(map[model.Tag]model.Tag, len(res.Parents))
+		} else {
+			clear(raw.Locations)
+			clear(raw.Parents)
 		}
-		for k, v := range res.Locations {
-			raw.Locations[k] = v
-		}
-		for k, v := range res.Parents {
-			raw.Parents[k] = v
-		}
+		maps.Copy(raw.Locations, res.Locations)
+		maps.Copy(raw.Parents, res.Parents)
 	}
 	inference.ResolveConflicts(res, levelOf)
 	s.stats.InferenceTime += time.Since(start)

@@ -52,6 +52,11 @@ func (r *Runner) Run(ctx context.Context, in <-chan *model.Observation, out chan
 			if err != nil {
 				return fmt.Errorf("core: epoch %d: %w", o.Time, err)
 			}
+			// The substrate reuses its result buffers across epochs; the
+			// channel hands po to a consumer that may still be reading it
+			// when the next epoch is processed, so detach the results here.
+			po.Result = po.Result.Clone()
+			po.RawResult = po.RawResult.Clone()
 			last = o.Time
 			select {
 			case out <- po:

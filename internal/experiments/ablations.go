@@ -19,38 +19,43 @@ func AblationPartialInference(o Options) (*Table, error) {
 		RowHeader: "variant",
 		Columns:   []string{"loc err", "cont err", "infer s/epoch"},
 	}
-	for _, hops := range []int{1, 2, 4} {
+	// The last cell forces complete inference every epoch by declaring
+	// every reader period-1 to the substrate while the simulator keeps its
+	// real shelf period. (The schedule is derived from the configured
+	// readers.)
+	hops := []int{1, 2, 4}
+	labels := []string{"schedule l=1", "schedule l=2", "schedule l=4", "complete-only"}
+	vals := make([][]float64, len(labels))
+	err := runCells(len(labels), o.Workers, func(i int) error {
 		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
 		rc.Sim.ShelfPeriod = 60
 		if o.Quick {
 			rc.Sim.ShelfPeriod = 30
 		}
-		rc.Inference.PartialHops = hops
-		out, err := run(rc)
-		if err != nil {
-			return nil, err
+		var out *runOutput
+		var err error
+		if i < len(hops) {
+			rc.Inference.PartialHops = hops[i]
+			out, err = run(rc)
+		} else {
+			out, err = runCompleteOnly(rc)
 		}
-		t.AddRow(fmt.Sprintf("schedule l=%d", hops),
+		if err != nil {
+			return err
+		}
+		vals[i] = []float64{
 			out.Acc.LocationErrorRate(),
 			out.Acc.ContainmentErrorRate(),
-			out.Stats.InferenceTime.Seconds()/float64(out.Stats.Epochs))
-	}
-	// Force complete inference every epoch by declaring every reader
-	// period-1 to the substrate while the simulator keeps its real shelf
-	// period. (The schedule is derived from the configured readers.)
-	rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
-	rc.Sim.ShelfPeriod = 60
-	if o.Quick {
-		rc.Sim.ShelfPeriod = 30
-	}
-	out, err := runCompleteOnly(rc)
+			out.Stats.InferenceTime.Seconds() / float64(out.Stats.Epochs),
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("complete-only",
-		out.Acc.LocationErrorRate(),
-		out.Acc.ContainmentErrorRate(),
-		out.Stats.InferenceTime.Seconds()/float64(out.Stats.Epochs))
+	for i, label := range labels {
+		t.Rows = append(t.Rows, Row{Label: label, Values: vals[i]})
+	}
 	t.Notes = append(t.Notes,
 		"design claim (§IV-D): forcing complete inference every epoch both costs more and floods the result with",
 		"misleading 'unknown' verdicts for objects whose slow readers have not fired; the partial schedule avoids both",
@@ -68,15 +73,23 @@ func AblationPruneThreshold(o Options) (*Table, error) {
 		RowHeader: "threshold",
 		Columns:   []string{"loc err", "cont err"},
 	}
-	for _, th := range []float64{0, 0.25, 0.5, 0.75} {
+	thresholds := []float64{0, 0.25, 0.5, 0.75}
+	vals := make([][]float64, len(thresholds))
+	err := runCells(len(thresholds), o.Workers, func(i int) error {
 		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
-		rc.Inference.PruneThreshold = th
+		rc.Inference.PruneThreshold = thresholds[i]
 		out, err := run(rc)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmt.Sprintf("%.2f", th),
-			out.Acc.LocationErrorRate(), out.Acc.ContainmentErrorRate())
+		vals[i] = []float64{out.Acc.LocationErrorRate(), out.Acc.ContainmentErrorRate()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, th := range thresholds {
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%.2f", th), Values: vals[i]})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: pruning barely moves location error; containment error grows with the threshold")

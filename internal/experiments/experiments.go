@@ -21,6 +21,14 @@ import (
 // grids so the whole suite runs in minutes, preserving the shapes.
 type Options struct {
 	Quick bool
+
+	// Workers caps how many sweep cells run concurrently; 0 means
+	// runtime.NumCPU(). Results are collected into pre-sized slots, so
+	// rendered tables are byte-identical for any worker count. Timing
+	// columns (Table III, the partial-inference ablation) are measured
+	// per cell and contend for cores when cells run concurrently; use
+	// Workers = 1 when those absolute timings matter.
+	Workers int
 }
 
 // Table is a printable experiment result: one labelled row per sweep

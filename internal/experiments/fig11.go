@@ -59,8 +59,10 @@ type fig11Point struct {
 // Fig 11(a) F-measure, Fig 11(b) location-only compression ratios, and
 // Fig 11(c) full-stream compression ratios.
 func Fig11(o Options) (a, b, c *Table, err error) {
-	var points []fig11Point
-	for _, rr := range readRates(o) {
+	rates := readRates(o)
+	points := make([]fig11Point, len(rates))
+	err = runCells(len(rates), o.Workers, func(i int) error {
+		rr := rates[i]
 		pt := fig11Point{rate: rr}
 
 		// SPIRE level 1.
@@ -69,7 +71,7 @@ func Fig11(o Options) (a, b, c *Table, err error) {
 		rc.Sim.ReadRate = rr
 		l1, err := run(rc)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
 		outLoc, outCont := event.SplitStreams(l1.Events)
 		truthLoc, truthCont := event.SplitStreams(l1.TruthEvents)
@@ -85,7 +87,7 @@ func Fig11(o Options) (a, b, c *Table, err error) {
 		rc.Compression = core.Level2
 		l2, err := run(rc)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
 		l2Loc, _ := event.SplitStreams(l2.Events)
 		pt.l2Loc = metrics.Ratio(event.StreamSize(l2Loc), l2.RawBytes)
@@ -97,7 +99,7 @@ func Fig11(o Options) (a, b, c *Table, err error) {
 		sc.ReadRate = rr
 		sm, err := runSMURF(sc, true)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
 		smLoc, _ := event.SplitStreams(sm.Events)
 		smTruthLoc, _ := event.SplitStreams(sm.TruthEvents)
@@ -105,7 +107,11 @@ func Fig11(o Options) (a, b, c *Table, err error) {
 		pt.smurfLoc = metrics.Ratio(event.StreamSize(smLoc), sm.RawBytes)
 		pt.smurfEvents = len(sm.Events)
 
-		points = append(points, pt)
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
 
 	a = &Table{

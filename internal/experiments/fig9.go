@@ -49,33 +49,31 @@ func Fig9a(o Options) (*Table, error) {
 	for _, p := range periods {
 		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
 	}
-	for _, beta := range betas {
-		row := Row{Label: fmt.Sprintf("%.2f", beta)}
-		for _, p := range periods {
-			rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
-			rc.Sim.ShelfPeriod = modelEpoch(p)
-			rc.Inference.Beta = beta
-			out, err := run(rc)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, out.Acc.ContainmentErrorRate())
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	// Adaptive β row.
-	row := Row{Label: "adaptive"}
-	for _, p := range periods {
+	// The last sweep row is the adaptive-β heuristic.
+	vals, err := sweepGrid(o, len(betas)+1, len(periods), func(r, c int) (float64, error) {
 		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
-		rc.Sim.ShelfPeriod = modelEpoch(p)
-		rc.Inference.AdaptiveBeta = true
+		rc.Sim.ShelfPeriod = modelEpoch(periods[c])
+		if r < len(betas) {
+			rc.Inference.Beta = betas[r]
+		} else {
+			rc.Inference.AdaptiveBeta = true
+		}
 		out, err := run(rc)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		row.Values = append(row.Values, out.Acc.ContainmentErrorRate())
+		return out.Acc.ContainmentErrorRate(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	t.Rows = append(t.Rows, row)
+	for r, values := range vals {
+		label := "adaptive"
+		if r < len(betas) {
+			label = fmt.Sprintf("%.2f", betas[r])
+		}
+		t.Rows = append(t.Rows, Row{Label: label, Values: values})
+	}
 	t.Notes = append(t.Notes,
 		"paper shape: high β degrades under noisy (frequent) shelf readers; low β and adaptive β track the best setting",
 		"S=32, α=0 fixed as in the paper")
@@ -97,19 +95,21 @@ func Fig9b(o Options) (*Table, error) {
 	for _, p := range periods {
 		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
 	}
-	for _, gamma := range gammas {
-		row := Row{Label: fmt.Sprintf("%.2f", gamma)}
-		for _, p := range periods {
-			rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
-			rc.Sim.ShelfPeriod = modelEpoch(p)
-			rc.Inference.Gamma = gamma
-			out, err := run(rc)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, out.Acc.LocationErrorRate())
+	vals, err := sweepGrid(o, len(gammas), len(periods), func(r, c int) (float64, error) {
+		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
+		rc.Sim.ShelfPeriod = modelEpoch(periods[c])
+		rc.Inference.Gamma = gammas[r]
+		out, err := run(rc)
+		if err != nil {
+			return 0, err
 		}
-		t.Rows = append(t.Rows, row)
+		return out.Acc.LocationErrorRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, values := range vals {
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%.2f", gammas[r]), Values: values})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: mid-range γ (0.15-0.45) balances last observation against containment; extremes degrade")
@@ -132,19 +132,21 @@ func Fig9c(o Options) (*Table, error) {
 	for _, p := range periods {
 		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
 	}
-	for _, theta := range thetas {
-		row := Row{Label: fmt.Sprintf("%.2f", theta)}
-		for _, p := range periods {
-			rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
-			rc.Sim.ShelfPeriod = modelEpoch(p)
-			rc.Inference.Theta = theta
-			out, err := run(rc)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, out.Acc.LocationErrorRate())
+	vals, err := sweepGrid(o, len(thetas), len(periods), func(r, c int) (float64, error) {
+		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
+		rc.Sim.ShelfPeriod = modelEpoch(periods[c])
+		rc.Inference.Theta = thetas[r]
+		out, err := run(rc)
+		if err != nil {
+			return 0, err
 		}
-		t.Rows = append(t.Rows, row)
+		return out.Acc.LocationErrorRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, values := range vals {
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%.2f", thetas[r]), Values: values})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: error declines from very low θ, flattens in the 1-2 range, degrades again for high θ")
@@ -164,19 +166,26 @@ func Fig9d(o Options) (*Table, error) {
 		RowHeader: "read rate",
 		Columns:   []string{"location", "containment"},
 	}
-	for _, rr := range rates {
+	vals := make([][]float64, len(rates))
+	err := runCells(len(rates), o.Workers, func(i int) error {
 		rc := runConfig{Sim: accuracySim(o), Inference: inference.DefaultConfig()}
-		rc.Sim.ReadRate = rr
+		rc.Sim.ReadRate = rates[i]
 		rc.Sim.ShelfPeriod = 60
 		if o.Quick {
 			rc.Sim.ShelfPeriod = 30
 		}
 		out, err := run(rc)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmt.Sprintf("%.2f", rr),
-			out.Acc.LocationErrorRate(), out.Acc.ContainmentErrorRate())
+		vals[i] = []float64{out.Acc.LocationErrorRate(), out.Acc.ContainmentErrorRate()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rr := range rates {
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%.2f", rr), Values: vals[i]})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: both errors below ~10% for read rates ≥0.8; containment degrades faster as the rate drops")
@@ -209,19 +218,21 @@ func Fig9e(o Options) (*Table, error) {
 	for _, p := range periods {
 		t.Columns = append(t.Columns, fmt.Sprintf("shelf=1/%ds", p))
 	}
-	for _, theta := range thetas {
-		row := Row{Label: fmt.Sprintf("%.2f", theta)}
-		for _, p := range periods {
-			rc := runConfig{Sim: anomalySim(o), Inference: inference.DefaultConfig()}
-			rc.Sim.ShelfPeriod = modelEpoch(p)
-			rc.Inference.Theta = theta
-			out, err := run(rc)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, out.Acc.LocationErrorRate())
+	vals, err := sweepGrid(o, len(thetas), len(periods), func(r, c int) (float64, error) {
+		rc := runConfig{Sim: anomalySim(o), Inference: inference.DefaultConfig()}
+		rc.Sim.ShelfPeriod = modelEpoch(periods[c])
+		rc.Inference.Theta = thetas[r]
+		out, err := run(rc)
+		if err != nil {
+			return 0, err
 		}
-		t.Rows = append(t.Rows, row)
+		return out.Acc.LocationErrorRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, values := range vals {
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%.2f", thetas[r]), Values: values})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: same U-shape as Fig 9(c); θ in 1-2 remains a good choice with anomalies present")
@@ -245,24 +256,34 @@ func Fig9f(o Options) (*Table, error) {
 		t.Columns = append(t.Columns,
 			fmt.Sprintf("delay shelf=1/%ds", p), fmt.Sprintf("detected shelf=1/%ds", p))
 	}
-	for _, theta := range thetas {
-		row := Row{Label: fmt.Sprintf("%.2f", theta)}
-		for _, p := range periods {
-			rc := runConfig{Sim: anomalySim(o), Inference: inference.DefaultConfig(), CollectEvents: true}
-			rc.Sim.ShelfPeriod = modelEpoch(p)
-			rc.Inference.Theta = theta
-			out, err := run(rc)
-			if err != nil {
-				return nil, err
-			}
-			d := metrics.DetectionDelays(out.Events, out.Thefts)
-			frac := 0.0
-			if d.Total > 0 {
-				frac = float64(d.Detected) / float64(d.Total)
-			}
-			row.Values = append(row.Values, d.MeanDelay, frac)
+	nc := len(periods)
+	// Two values per cell (mean delay, detected fraction), stride 2.
+	flat := make([]float64, len(thetas)*nc*2)
+	err := runCells(len(thetas)*nc, o.Workers, func(i int) error {
+		r, c := i/nc, i%nc
+		rc := runConfig{Sim: anomalySim(o), Inference: inference.DefaultConfig(), CollectEvents: true}
+		rc.Sim.ShelfPeriod = modelEpoch(periods[c])
+		rc.Inference.Theta = thetas[r]
+		out, err := run(rc)
+		if err != nil {
+			return err
 		}
-		t.Rows = append(t.Rows, row)
+		d := metrics.DetectionDelays(out.Events, out.Thefts)
+		frac := 0.0
+		if d.Total > 0 {
+			frac = float64(d.Detected) / float64(d.Total)
+		}
+		flat[i*2], flat[i*2+1] = d.MeanDelay, frac
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r := range thetas {
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("%.2f", thetas[r]),
+			Values: flat[r*nc*2 : (r+1)*nc*2 : (r+1)*nc*2],
+		})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: higher θ detects faster, especially under infrequent shelf readers; combined with Fig 9(e), θ in 1-2 remains optimal")

@@ -191,19 +191,31 @@ func Table3(o Options) (*Table, error) {
 		RowHeader: "objects",
 		Columns:   []string{"update", "inference", "total"},
 	}
-	for _, target := range targets {
+	type t3cell struct {
+		nodes      int
+		upd, infer float64
+	}
+	cells := make([]t3cell, len(targets))
+	err := runCells(len(targets), o.Workers, func(i int) error {
 		p, err := newPerfGrower(0.25, 0.95)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := p.grow(target, 2); err != nil {
-			return nil, err
+		if err := p.grow(targets[i], 2); err != nil {
+			return err
 		}
 		upd, infd, err := p.measure(epochs)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmt.Sprintf("%d", p.g.Len()), upd, infd, upd+infd)
+		cells[i] = t3cell{nodes: p.g.Len(), upd: upd, infer: infd}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		t.AddRow(fmt.Sprintf("%d", c.nodes), c.upd, c.infer, c.upd+c.infer)
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: both costs well under the 1 s epoch, inference dominating; roughly linear growth in node count",
@@ -228,23 +240,37 @@ func Fig10(o Options) (*Table, error) {
 		t.Columns = append(t.Columns, fmt.Sprintf("prune=%.2f", th))
 	}
 	t.Columns = append(t.Columns, "edges@0", "edges@0.50")
-	for _, target := range targets {
+	type f10cell struct {
+		mb    float64
+		edges int
+	}
+	nc := len(thresholds)
+	cells := make([]f10cell, len(targets)*nc)
+	err := runCells(len(cells), o.Workers, func(i int) error {
+		p, err := newPerfGrower(thresholds[i%nc], 0.95)
+		if err != nil {
+			return err
+		}
+		if err := p.grow(targets[i/nc], 2); err != nil {
+			return err
+		}
+		cells[i] = f10cell{mb: float64(p.g.ApproxBytes()) / (1 << 20), edges: p.g.EdgeCount()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, target := range targets {
 		row := Row{Label: fmt.Sprintf("%d", target)}
 		var edges0, edgesHalf float64
-		for _, th := range thresholds {
-			p, err := newPerfGrower(th, 0.95)
-			if err != nil {
-				return nil, err
-			}
-			if err := p.grow(target, 2); err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, float64(p.g.ApproxBytes())/(1<<20))
+		for c, th := range thresholds {
+			cell := cells[r*nc+c]
+			row.Values = append(row.Values, cell.mb)
 			if th == 0 {
-				edges0 = float64(p.g.EdgeCount())
+				edges0 = float64(cell.edges)
 			}
 			if th == 0.5 {
-				edgesHalf = float64(p.g.EdgeCount())
+				edgesHalf = float64(cell.edges)
 			}
 		}
 		row.Values = append(row.Values, edges0, edgesHalf)

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runCells executes fn(i) for every cell index in [0, n) on a bounded
+// worker pool. Every sweep cell of the evaluation is a self-contained
+// simulator+substrate run (its own rng, graph, and inferencer), so cells
+// can run concurrently; callers store each cell's output into a pre-sized
+// slot keyed by index, which keeps table row order — and hence rendered
+// output — identical for any worker count.
+//
+// workers ≤ 0 means runtime.NumCPU(). With one worker (or one cell) the
+// cells run inline on the calling goroutine, preserving the serial
+// behavior exactly. On error every started cell still completes; the
+// lowest-indexed error is returned so failures are deterministic too.
+func runCells(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		errs = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepGrid evaluates an nr×nc sweep — one independent trace per cell —
+// and returns the row-major value grid, filled in deterministic slots.
+func sweepGrid(o Options, nr, nc int, cell func(r, c int) (float64, error)) ([][]float64, error) {
+	flat := make([]float64, nr*nc)
+	err := runCells(nr*nc, o.Workers, func(i int) error {
+		v, err := cell(i/nc, i%nc)
+		if err != nil {
+			return err
+		}
+		flat[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, nr)
+	for r := range rows {
+		rows[r] = flat[r*nc : (r+1)*nc : (r+1)*nc]
+	}
+	return rows, nil
+}

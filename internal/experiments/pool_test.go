@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCellsVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		n := 37
+		counts := make([]atomic.Int32, n)
+		err := runCells(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: cell %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunCellsReturnsLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := runCells(8, workers, func(i int) error {
+			switch i {
+			case 2:
+				return errLow
+			case 6:
+				return errHigh
+			}
+			return nil
+		})
+		if workers == 1 {
+			// Serial mode stops at the first failing cell.
+			if !errors.Is(err, errLow) {
+				t.Errorf("workers=1: got %v, want %v", err, errLow)
+			}
+			continue
+		}
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want lowest-indexed error %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestSweepGridSlots(t *testing.T) {
+	o := Options{Workers: 4}
+	grid, err := sweepGrid(o, 3, 4, func(r, c int) (float64, error) {
+		return float64(10*r + c), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range grid {
+		for c := range grid[r] {
+			if want := float64(10*r + c); grid[r][c] != want {
+				t.Errorf("grid[%d][%d] = %v, want %v", r, c, grid[r][c], want)
+			}
+		}
+	}
+	boom := errors.New("boom")
+	if _, err := sweepGrid(o, 2, 2, func(r, c int) (float64, error) {
+		if r == 1 && c == 0 {
+			return 0, boom
+		}
+		return 0, nil
+	}); !errors.Is(err, boom) {
+		t.Errorf("sweepGrid error = %v, want %v", err, boom)
+	}
+}
+
+// TestParallelSerialEquivalence asserts the tentpole invariant: the
+// rendered tables are byte-identical for any worker count. It runs two
+// deterministic experiments (no timing columns) serially and with four
+// workers and compares the full rendered output.
+func TestParallelSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	render := func(workers int) (string, error) {
+		o := Options{Quick: true, Workers: workers}
+		var out string
+		f9d, err := Fig9d(o)
+		if err != nil {
+			return "", fmt.Errorf("fig9d: %w", err)
+		}
+		out += f9d.String()
+		pr, err := AblationPruneThreshold(o)
+		if err != nil {
+			return "", fmt.Errorf("ablation-prune: %w", err)
+		}
+		out += pr.String()
+		return out, nil
+	}
+	serial, err := render(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := render(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != par {
+		t.Errorf("rendered tables differ between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+}

@@ -169,6 +169,16 @@ type Edge struct {
 	// partner turns out to be colored later in the same epoch.
 	conflictedAt model.Epoch
 	betaOneAt    model.Epoch
+
+	// InferProb and InferStamp are scratch storage owned by the inference
+	// package: the normalized Eq. 2 probability assigned to this edge by
+	// the inference pass whose stamp is InferStamp. A stamp that differs
+	// from the running pass means "no probability assigned this pass".
+	// Living on the edge, the slot replaces a pointer-keyed map on the
+	// inference hot path: O(1) access with no hashing and no per-epoch
+	// clearing (stale entries are invalidated by the stamp alone).
+	InferProb  float64
+	InferStamp uint64
 }
 
 // Confirmed reports whether this edge is the confirmed parent edge of its
@@ -190,6 +200,13 @@ type Graph struct {
 	coloredAt  model.Epoch
 	zeroEpoch  bool // true once any update has run (epoch 0 is valid)
 	zipfLookup []float64
+
+	// freeEdges recycles removed Edge structs. Color-mismatch removal and
+	// edge pruning churn through many short-lived edges (millions over a
+	// large trace); reusing the structs keeps the steady-state update loop
+	// allocation-free. Only edges fully detached from both endpoints enter
+	// the list, so no live pointer can alias a recycled edge.
+	freeEdges []*Edge
 }
 
 // New creates an empty graph.
@@ -254,7 +271,15 @@ func (g *Graph) AddEdge(parent, child *Node, now model.Epoch) *Edge {
 	if err != nil {
 		panic(err) // validated at construction
 	}
-	e := &Edge{
+	var e *Edge
+	if n := len(g.freeEdges); n > 0 {
+		e = g.freeEdges[n-1]
+		g.freeEdges[n-1] = nil
+		g.freeEdges = g.freeEdges[:n-1]
+	} else {
+		e = new(Edge)
+	}
+	*e = Edge{
 		Parent:       parent,
 		Child:        child,
 		History:      h,
@@ -269,15 +294,18 @@ func (g *Graph) AddEdge(parent, child *Node, now model.Epoch) *Edge {
 	return e
 }
 
-// RemoveEdge detaches e from both endpoints.
+// RemoveEdge detaches e from both endpoints and recycles the struct. The
+// identity check makes removal idempotent and guards against a stale edge
+// deleting a newer edge of the same parent-child pair.
 func (g *Graph) RemoveEdge(e *Edge) {
 	if e.Child.ConfirmedEdge == e {
 		e.Child.ConfirmedEdge = nil
 	}
-	if _, ok := e.Child.parents[e.Parent.Tag]; ok {
+	if e.Child.parents[e.Parent.Tag] == e {
 		delete(e.Child.parents, e.Parent.Tag)
 		delete(e.Parent.children, e.Child.Tag)
 		g.edges--
+		g.freeEdges = append(g.freeEdges, e)
 	}
 }
 
@@ -352,8 +380,8 @@ func (g *Graph) beginEpoch(now model.Epoch) {
 // the adjacency maps (two entries per edge) using a conservative 48 bytes
 // per map entry.
 const (
-	NodeSizeBytes = 160 // struct + two map headers + index slot
-	EdgeSizeBytes = 96 + 2*48
+	NodeSizeBytes = 160        // struct + two map headers + index slot
+	EdgeSizeBytes = 112 + 2*48 // struct (incl. inference scratch slots) + map entries
 )
 
 // ApproxBytes estimates the resident size of the graph.

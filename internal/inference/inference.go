@@ -1,9 +1,11 @@
 package inference
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"spire/internal/graph"
 	"spire/internal/model"
@@ -31,22 +33,72 @@ type Result struct {
 	Observed map[model.Tag]bool
 }
 
+// Clone returns a deep copy of the result with freshly allocated maps.
+// Infer reuses its Result across calls; callers that retain a result past
+// the next Infer call — or hand it to another goroutine — must clone it.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := &Result{
+		Now:       r.Now,
+		Partial:   r.Partial,
+		Locations: make(map[model.Tag]model.LocationID, len(r.Locations)),
+		Parents:   make(map[model.Tag]model.Tag, len(r.Parents)),
+		Observed:  make(map[model.Tag]bool, len(r.Observed)),
+	}
+	for k, v := range r.Locations {
+		out.Locations[k] = v
+	}
+	for k, v := range r.Parents {
+		out.Parents[k] = v
+	}
+	for k, v := range r.Observed {
+		out.Observed[k] = v
+	}
+	return out
+}
+
+// reset prepares a pooled result for a new pass, clearing (or lazily
+// allocating) its maps.
+func (r *Result) reset(now model.Epoch, partial bool) {
+	r.Now = now
+	r.Partial = partial
+	if r.Locations == nil {
+		r.Locations = make(map[model.Tag]model.LocationID)
+		r.Parents = make(map[model.Tag]model.Tag)
+		r.Observed = make(map[model.Tag]bool)
+		return
+	}
+	clear(r.Locations)
+	clear(r.Parents)
+	clear(r.Observed)
+}
+
 // Inferencer runs the iterative inference algorithm. It keeps reusable
-// scratch buffers, so one Inferencer should be reused across epochs; it is
-// not safe for concurrent use.
+// scratch buffers — including the Result it returns — so one Inferencer
+// should be reused across epochs; it is not safe for concurrent use.
 type Inferencer struct {
 	cfg     Config
 	weights []float64 // Zipf table, sized to the graph's history length
 
 	// scratch reused across epochs
+	res      Result // pooled result; see Infer's contract
+	stamp    uint64 // stamp of the running pass, matched against Edge.InferStamp
 	dist     map[model.Tag]int32
 	frontier []*graph.Node
 	next     []*graph.Node
-	edgeProb map[*graph.Edge]float64
+	rest     []*graph.Node
 	probs    map[model.LocationID]float64
 	pruned   []*graph.Edge
 	props    []propagation
 }
+
+// passStamps issues a process-wide unique stamp per inference pass, so
+// the per-edge scratch slots of concurrently running Inferencers (each on
+// its own graph) and of successive Inferencers sharing one graph can never
+// read each other's probabilities as fresh.
+var passStamps atomic.Uint64
 
 // propagation is one determined neighbor color feeding node inference.
 type propagation struct {
@@ -64,11 +116,10 @@ func New(cfg Config, historySize int) (*Inferencer, error) {
 		return nil, fmt.Errorf("inference: history size %d out of range", historySize)
 	}
 	return &Inferencer{
-		cfg:      cfg,
-		weights:  graph.ZipfWeights(historySize, cfg.Alpha),
-		dist:     make(map[model.Tag]int32),
-		edgeProb: make(map[*graph.Edge]float64),
-		probs:    make(map[model.LocationID]float64),
+		cfg:     cfg,
+		weights: graph.ZipfWeights(historySize, cfg.Alpha),
+		dist:    make(map[model.Tag]int32),
+		probs:   make(map[model.LocationID]float64),
 	}, nil
 }
 
@@ -87,16 +138,16 @@ func (inf *Inferencer) Config() Config { return inf.cfg }
 //
 // Under Partial mode only nodes with d ≤ PartialHops are interpreted and
 // "unknown" location verdicts are withheld from the result (§IV-D).
+//
+// The returned Result and its maps are scratch owned by the Inferencer:
+// they stay valid until the next Infer call on the same Inferencer, which
+// resets and reuses them. Callers that keep a result longer — or pass it
+// to another goroutine — must take a Clone first.
 func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result {
-	res := &Result{
-		Now:       now,
-		Partial:   mode == Partial,
-		Locations: make(map[model.Tag]model.LocationID),
-		Parents:   make(map[model.Tag]model.Tag),
-		Observed:  make(map[model.Tag]bool),
-	}
+	res := &inf.res
+	res.reset(now, mode == Partial)
+	inf.stamp = passStamps.Add(1)
 	clear(inf.dist)
-	clear(inf.edgeProb)
 
 	// Layer d=0: the colored nodes. Their location verdict is their
 	// observation; edge inference estimates their most likely parents.
@@ -151,14 +202,14 @@ func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result
 
 	if mode == Complete {
 		// Components with no colored node (every member unobserved).
-		var rest []*graph.Node
+		inf.rest = inf.rest[:0]
 		g.Nodes(func(n *graph.Node) {
 			if _, seen := inf.dist[n.Tag]; !seen {
-				rest = append(rest, n)
+				inf.rest = append(inf.rest, n)
 			}
 		})
-		sortNodes(rest)
-		for _, n := range rest {
+		sortNodes(inf.rest)
+		for _, n := range inf.rest {
 			res.Parents[n.Tag] = inf.edgeInference(g, n)
 			res.Locations[n.Tag] = inf.nodeInference(n, now, res)
 		}
@@ -193,7 +244,8 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 			return
 		}
 		z += conf
-		inf.edgeProb[e] = conf // normalized below
+		e.InferProb = conf // normalized below
+		e.InferStamp = inf.stamp
 		if best == nil || conf > bestConf ||
 			(conf == bestConf && e.Parent.Tag < best.Parent.Tag) {
 			best, bestConf = e, conf
@@ -201,7 +253,6 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 	})
 	for _, e := range inf.pruned {
 		g.RemoveEdge(e)
-		delete(inf.edgeProb, e)
 	}
 	if best == nil || z == 0 {
 		// No surviving edge carries any belief: report "no container"
@@ -209,7 +260,7 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 		return model.NoTag
 	}
 	n.VisitParents(func(e *graph.Edge) {
-		inf.edgeProb[e] /= z
+		e.InferProb /= z
 	})
 	return best.Parent.Tag
 }
@@ -245,12 +296,11 @@ func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result
 		if !ok || !loc.Known() {
 			return
 		}
-		p, ok := inf.edgeProb[e]
-		if !ok || p == 0 {
+		if e.InferStamp != inf.stamp || e.InferProb == 0 {
 			return
 		}
-		z2 += p
-		inf.props = append(inf.props, propagation{loc: loc, p: p})
+		z2 += e.InferProb
+		inf.props = append(inf.props, propagation{loc: loc, p: e.InferProb})
 	}
 	n.VisitParents(func(e *graph.Edge) { collect(e, e.Parent) })
 	n.VisitChildren(func(e *graph.Edge) { collect(e, e.Child) })
@@ -272,5 +322,5 @@ func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result
 }
 
 func sortNodes(nodes []*graph.Node) {
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Tag < nodes[j].Tag })
+	slices.SortFunc(nodes, func(a, b *graph.Node) int { return cmp.Compare(a.Tag, b.Tag) })
 }

@@ -28,7 +28,10 @@ func TestEdgeProbabilitiesNormalized(t *testing.T) {
 	var sum, best float64
 	var bestTag model.Tag
 	n.VisitParents(func(e *graph.Edge) {
-		p := inf.edgeProb[e]
+		if e.InferStamp != inf.stamp {
+			t.Errorf("edge %d not stamped by the pass", e.Parent.Tag)
+		}
+		p := e.InferProb
 		if p < 0 || p > 1 {
 			t.Errorf("edge %d probability %v out of [0,1]", e.Parent.Tag, p)
 		}
