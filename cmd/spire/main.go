@@ -8,10 +8,24 @@
 //
 //	spire -simulate -duration 1800 -level 2 -o events.bin
 //	spiresim -duration 1800 | spire -input -
+//
+// Crash recovery: -checkpoint writes an atomic snapshot of the full
+// pipeline state every -checkpoint-every epochs (and at end of input);
+// -restore resumes from such a snapshot, skipping already-processed
+// epochs of the replayed input, and continues the event stream exactly
+// where the snapshot left off:
+//
+//	spire -simulate -checkpoint state.ckpt -o events.bin
+//	spire -simulate -restore state.ckpt -checkpoint state.ckpt -o more-events.bin
+//
+// -ingest-policy selects how malformed input ordering is handled: strict
+// (fail the run), reject (drop stale/duplicate epochs), or repair
+// (reorder and merge within a window).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -50,10 +64,19 @@ func run() error {
 		theta    = flag.Float64("theta", inference.DefaultConfig().Theta, "node inference θ")
 		adaptive = flag.Bool("adaptive-beta", false, "use the adaptive β heuristic")
 		prune    = flag.Float64("prune", 0, "edge prune threshold (0 = off)")
+
+		ckptPath  = flag.String("checkpoint", "", "write atomic pipeline snapshots to this file")
+		ckptEvery = flag.Int("checkpoint-every", 60, "epochs between checkpoints (with -checkpoint)")
+		restore   = flag.String("restore", "", "resume from a snapshot file written by -checkpoint")
+		policy    = flag.String("ingest-policy", "strict", "malformed-input policy: strict, reject, or repair")
 	)
 	flag.Parse()
 	if *input == "" && !*simulate {
 		*simulate = true
+	}
+	ingestPolicy, ok := core.ParseIngestPolicy(*policy)
+	if !ok {
+		return fmt.Errorf("unknown ingest policy %q (want strict, reject, or repair)", *policy)
 	}
 
 	simCfg.Seed = *seed
@@ -66,18 +89,29 @@ func run() error {
 		return err
 	}
 
-	icfg := inference.DefaultConfig()
-	icfg.Beta, icfg.Gamma, icfg.Theta = *beta, *gamma, *theta
-	icfg.AdaptiveBeta = *adaptive
-	icfg.PruneThreshold = *prune
-	sub, err := core.New(core.Config{
-		Readers:     s.Readers(),
-		Locations:   s.Locations(),
-		Inference:   icfg,
-		Compression: core.CompressionLevel(*level),
-	})
-	if err != nil {
-		return err
+	var sub *core.Substrate
+	if *restore != "" {
+		// A snapshot is self-contained: it carries the reader deployment
+		// and inference parameters, so the tuning flags are ignored here.
+		sub, err = core.RestoreSubstrateFromFile(*restore)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", *restore, err)
+		}
+		fmt.Fprintf(os.Stderr, "spire: restored snapshot %s at epoch %d\n", *restore, sub.LastEpoch())
+	} else {
+		icfg := inference.DefaultConfig()
+		icfg.Beta, icfg.Gamma, icfg.Theta = *beta, *gamma, *theta
+		icfg.AdaptiveBeta = *adaptive
+		icfg.PruneThreshold = *prune
+		sub, err = core.New(core.Config{
+			Readers:     s.Readers(),
+			Locations:   s.Locations(),
+			Inference:   icfg,
+			Compression: core.CompressionLevel(*level),
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	emit, flush, err := makeSink(*out)
@@ -85,75 +119,44 @@ func run() error {
 		return err
 	}
 
-	var lastEpoch model.Epoch
-	if *simulate {
-		for !s.Done() {
-			o, err := s.Step()
-			if err != nil {
-				return err
-			}
-			po, err := sub.ProcessEpoch(o)
-			if err != nil {
-				return err
-			}
-			if err := emit(po.Events); err != nil {
-				return err
-			}
-			lastEpoch = o.Time
+	runner := core.NewRunnerConfigured(sub, core.RunnerConfig{
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Ingest:          core.IngestConfig{Policy: ingestPolicy},
+	})
+
+	// Feed observations to the runner, skipping epochs a restored snapshot
+	// already processed (the input is replayed from its beginning).
+	skipThrough := sub.LastEpoch()
+	obsCh := make(chan *model.Observation, 4)
+	outCh := make(chan *core.EpochOutput, 4)
+	feedErr := make(chan error, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		defer close(obsCh)
+		if *simulate {
+			feedErr <- feedSim(s, skipThrough, obsCh)
+		} else {
+			feedErr <- feedStream(*input, skipThrough, obsCh)
 		}
-	} else {
-		var src io.Reader = os.Stdin
-		if *input != "-" {
-			f, err := os.Open(*input)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			src = f
-		}
-		r := stream.NewReader(src)
-		obs := model.NewObservation(0)
-		flushObs := func() error {
-			if obs.Time == 0 {
-				return nil
-			}
-			po, err := sub.ProcessEpoch(obs)
-			if err != nil {
-				return err
-			}
-			lastEpoch = obs.Time
-			return emit(po.Events)
-		}
-		for {
-			rd, err := r.Read()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			if rd.Time != obs.Time {
-				if rd.Time < obs.Time {
-					return fmt.Errorf("raw stream not ordered by epoch (%d after %d)", rd.Time, obs.Time)
-				}
-				if err := flushObs(); err != nil {
-					return err
-				}
-				obs = model.NewObservation(rd.Time)
-			}
-			obs.Add(rd.Reader, rd.Tag)
-		}
-		if err := flushObs(); err != nil {
+	}()
+	go func() { runErr <- runner.Run(context.Background(), obsCh, outCh) }()
+
+	for po := range outCh {
+		if err := emit(po.Events); err != nil {
 			return err
 		}
 	}
-
-	if err := emit(sub.Close(lastEpoch + 1)); err != nil {
+	if err := <-runErr; err != nil {
+		return err
+	}
+	if err := <-feedErr; err != nil {
 		return err
 	}
 	if err := flush(); err != nil {
 		return err
 	}
+
 	st := sub.Stats()
 	ratio := 0.0
 	if st.RawBytes > 0 {
@@ -163,6 +166,69 @@ func run() error {
 		"spire: %d epochs, %d readings (%d B raw) -> %d events (%d B, ratio %.4f); update %v, inference %v\n",
 		st.Epochs, st.Readings, st.RawBytes, st.Events, st.EventBytes,
 		ratio, st.UpdateTime, st.InferenceTime)
+	if ingestPolicy != core.IngestStrict {
+		ist := runner.IngestStats()
+		fmt.Fprintf(os.Stderr,
+			"spire: ingest (%s): %d accepted, %d stale dropped, %d merged, %d reordered\n",
+			ingestPolicy, ist.Accepted, ist.Stale, ist.Merged, ist.Reordered)
+	}
+	return nil
+}
+
+// feedSim streams freshly simulated observations.
+func feedSim(s *sim.Simulator, skipThrough model.Epoch, obsCh chan<- *model.Observation) error {
+	for !s.Done() {
+		o, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if o.Time <= skipThrough {
+			continue
+		}
+		obsCh <- o
+	}
+	return nil
+}
+
+// feedStream parses a raw binary reading stream into per-epoch
+// observations. Epoch-0 readings are treated as preamble and skipped, as
+// before.
+func feedStream(path string, skipThrough model.Epoch, obsCh chan<- *model.Observation) error {
+	var src io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	r := stream.NewReader(src)
+	obs := model.NewObservation(0)
+	flushObs := func() {
+		if obs.Time == 0 || obs.Time <= skipThrough {
+			return
+		}
+		obsCh <- obs
+	}
+	for {
+		rd, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rd.Time != obs.Time {
+			if rd.Time < obs.Time {
+				return fmt.Errorf("raw stream not ordered by epoch (%d after %d)", rd.Time, obs.Time)
+			}
+			flushObs()
+			obs = model.NewObservation(rd.Time)
+		}
+		obs.Add(rd.Reader, rd.Tag)
+	}
+	flushObs()
 	return nil
 }
 

@@ -1,0 +1,56 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// seedBody builds a snapshot exercising every field type, matching the
+// read sequence in FuzzDecoder.
+func seedBody() []byte {
+	e := NewEncoder()
+	e.Section("TEST")
+	e.Uint64(42)
+	e.Int64(-7)
+	e.Bool(true)
+	e.Float64(3.5)
+	e.String("hello")
+	e.Uint64(uint64(e.Len())) // a count field
+	var buf bytes.Buffer
+	if err := e.Flush(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecoder: arbitrary bytes through header verification and a typed
+// field walk must never panic, and every failure must wrap ErrCorrupt or
+// ErrVersion.
+func FuzzDecoder(f *testing.F) {
+	valid := seedBody()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add([]byte("SPIRECKP"))
+	f.Add([]byte("WRONGMAGIC-------------------"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("header rejection %v wraps neither ErrCorrupt nor ErrVersion", err)
+			}
+			return
+		}
+		d.Section("TEST")
+		_ = d.Uint64()
+		_ = d.Int64()
+		_ = d.Bool()
+		_ = d.Float64()
+		_ = d.String()
+		_ = d.Count(8)
+		if err := d.Finish(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decode failure %v does not wrap ErrCorrupt", err)
+		}
+	})
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// experiments (Expts 1-4) score raw inference; only the output-stream
 	// experiment includes conflict resolution.
 	KeepRawResult bool
+
+	// DedupStaleness is the recency window of the deduplication tie-break
+	// (see dedup.NewWithStaleness): zero selects dedup.DefaultStaleness,
+	// negative disables expiry.
+	DedupStaleness model.Epoch
 }
 
 // Stats accumulates the per-epoch costs reported in Table III.
@@ -152,7 +157,7 @@ func New(cfg Config) (*Substrate, error) {
 		cfg:        cfg,
 		readers:    make(map[model.ReaderID]*model.Reader, len(cfg.Readers)),
 		exits:      make(map[model.LocationID]bool),
-		dedup:      dedup.New(),
+		dedup:      dedup.NewWithStaleness(cfg.DedupStaleness),
 		graph:      g,
 		inf:        inf,
 		schedule:   inference.NewSchedule(cfg.Readers),

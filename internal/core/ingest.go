@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sort"
+
+	"spire/internal/model"
+)
+
+// Ingest hardening. The substrate requires strictly increasing epochs —
+// real reader feeds deliver worse: duplicated observations, bursts
+// arriving out of order, and epoch gaps after dropouts. The ingest gate
+// sits between the input channel and ProcessEpoch and applies one of
+// three policies instead of letting malformed input corrupt graph state.
+
+// IngestPolicy selects how the runner treats malformed input ordering.
+type IngestPolicy int
+
+const (
+	// IngestStrict passes observations through untouched; a non-monotone
+	// epoch surfaces as a processing error, failing the run. This is the
+	// historical behavior and the zero value.
+	IngestStrict IngestPolicy = iota
+
+	// IngestReject drops observations whose epoch is not after the last
+	// processed epoch (duplicates and late arrivals) and processes
+	// everything else immediately. Gaps pass through — a missing epoch is
+	// legal input to the substrate.
+	IngestReject
+
+	// IngestRepair buffers observations in a reorder window, delivers them
+	// in epoch order, and merges duplicate observations of the same epoch
+	// (union of readings per reader). Only observations arriving later
+	// than the window allows are dropped.
+	IngestRepair
+)
+
+// String names the policy.
+func (p IngestPolicy) String() string {
+	switch p {
+	case IngestReject:
+		return "reject"
+	case IngestRepair:
+		return "repair"
+	default:
+		return "strict"
+	}
+}
+
+// ParseIngestPolicy maps a flag value to a policy.
+func ParseIngestPolicy(s string) (IngestPolicy, bool) {
+	switch s {
+	case "strict", "":
+		return IngestStrict, true
+	case "reject":
+		return IngestReject, true
+	case "repair":
+		return IngestRepair, true
+	}
+	return IngestStrict, false
+}
+
+// DefaultReorderWindow is the repair policy's default reorder depth, in
+// epochs.
+const DefaultReorderWindow = 8
+
+// IngestConfig parameterizes the gate.
+type IngestConfig struct {
+	Policy IngestPolicy
+	// ReorderWindow is how many epochs behind the newest seen epoch an
+	// observation may arrive and still be repaired into order (repair
+	// policy only). Zero selects DefaultReorderWindow.
+	ReorderWindow int
+}
+
+// IngestStats counts the gate's decisions.
+type IngestStats struct {
+	Accepted  int64 // observations delivered to the substrate
+	Stale     int64 // dropped: epoch at or before the last delivered epoch
+	Merged    int64 // duplicate-epoch observations merged into a buffered one
+	Reordered int64 // buffered observations delivered out of arrival order
+}
+
+// ingestGate applies an IngestConfig to an observation stream. Offer
+// returns the observations now ready for processing, in epoch order;
+// Drain flushes the reorder buffer at end of input.
+type ingestGate struct {
+	cfg   IngestConfig
+	last  model.Epoch // last epoch handed out (or processed before restore)
+	seen  model.Epoch // newest epoch ever offered (repair)
+	buf   map[model.Epoch]*model.Observation
+	arr   map[model.Epoch]int // arrival sequence of buffered epochs
+	seq   int
+	stats IngestStats
+}
+
+func newIngestGate(cfg IngestConfig, last model.Epoch) *ingestGate {
+	if cfg.ReorderWindow <= 0 {
+		cfg.ReorderWindow = DefaultReorderWindow
+	}
+	return &ingestGate{
+		cfg:  cfg,
+		last: last,
+		seen: model.EpochNone,
+		buf:  make(map[model.Epoch]*model.Observation),
+		arr:  make(map[model.Epoch]int),
+	}
+}
+
+// Offer accepts one observation and returns those ready for processing.
+// The returned slice is valid until the next call.
+func (g *ingestGate) Offer(o *model.Observation) []*model.Observation {
+	switch g.cfg.Policy {
+	case IngestReject:
+		if o.Time <= g.last {
+			g.stats.Stale++
+			return nil
+		}
+		g.last = o.Time
+		g.stats.Accepted++
+		return []*model.Observation{o}
+	case IngestRepair:
+		return g.offerRepair(o)
+	default: // IngestStrict: hands-off
+		g.last = o.Time
+		g.stats.Accepted++
+		return []*model.Observation{o}
+	}
+}
+
+func (g *ingestGate) offerRepair(o *model.Observation) []*model.Observation {
+	g.seq++
+	if o.Time <= g.last {
+		// Arrived after its epoch was already delivered (or processed
+		// before a restore): beyond repair.
+		g.stats.Stale++
+		return nil
+	}
+	if have, dup := g.buf[o.Time]; dup {
+		mergeObservation(have, o)
+		g.stats.Merged++
+	} else {
+		g.buf[o.Time] = o
+		g.arr[o.Time] = g.seq
+	}
+	if o.Time > g.seen {
+		g.seen = o.Time
+	}
+	// Deliver every buffered epoch old enough that nothing earlier can
+	// still arrive within the window.
+	return g.flushThrough(g.seen - model.Epoch(g.cfg.ReorderWindow))
+}
+
+// flushThrough delivers buffered epochs <= limit in epoch order.
+func (g *ingestGate) flushThrough(limit model.Epoch) []*model.Observation {
+	if len(g.buf) == 0 {
+		return nil
+	}
+	var ready []model.Epoch
+	for t := range g.buf {
+		if t <= limit {
+			ready = append(ready, t)
+		}
+	}
+	if len(ready) == 0 {
+		return nil
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	out := make([]*model.Observation, 0, len(ready))
+	lastSeq := 0
+	for _, t := range ready {
+		o := g.buf[t]
+		if g.arr[t] < lastSeq {
+			g.stats.Reordered++
+		}
+		lastSeq = g.arr[t]
+		delete(g.buf, t)
+		delete(g.arr, t)
+		out = append(out, o)
+		g.last = t
+		g.stats.Accepted++
+	}
+	return out
+}
+
+// Drain flushes everything still buffered, in epoch order. Call at end of
+// input.
+func (g *ingestGate) Drain() []*model.Observation {
+	return g.flushThrough(model.InfiniteEpoch)
+}
+
+// mergeObservation unions src's readings into dst (same epoch), dropping
+// per-reader duplicate tags so a doubled delivery merges to the original.
+func mergeObservation(dst, src *model.Observation) {
+	for r, tags := range src.ByReader {
+		have := dst.ByReader[r]
+		seen := make(map[model.Tag]bool, len(have)+len(tags))
+		for _, g := range have {
+			seen[g] = true
+		}
+		for _, g := range tags {
+			if !seen[g] {
+				have = append(have, g)
+				seen[g] = true
+			}
+		}
+		dst.ByReader[r] = have
+	}
+}

@@ -3,8 +3,9 @@
 // overlapping reader ranges. At each epoch it detects tags read by several
 // nearby readers and assigns each tag to the reader that read the tag most
 // recently; within a single epoch, ties are broken toward the reader that
-// has read the tag most recently in the past, then toward the lower reader
-// ID for determinism.
+// has read the tag most recently in the past — provided that history is
+// recent enough to still be evidence — then toward the lower reader ID for
+// determinism.
 package dedup
 
 import (
@@ -13,21 +14,57 @@ import (
 	"spire/internal/model"
 )
 
+// DefaultStaleness is the default recency window for the cross-epoch
+// tie-break: a reader's past claim on a tag counts only if it read the tag
+// within this many epochs. At the paper's one-second epochs this is five
+// minutes — long enough to ride out dropout bursts, short enough that a
+// reader which saw the tag in some earlier era of the trace does not keep
+// winning ties against a currently co-reading reader forever.
+const DefaultStaleness model.Epoch = 300
+
 // Deduplicator tracks per-tag reading history across epochs. It is not
 // safe for concurrent use.
 type Deduplicator struct {
-	// lastSeen records, per tag, the last reader that observed it and
-	// when.
+	// lastReader and lastAt record, per tag, the last reader that observed
+	// it and when.
 	lastReader map[model.Tag]model.ReaderID
 	lastAt     map[model.Tag]model.Epoch
+
+	// staleness is the recency window; negative means history never
+	// expires.
+	staleness model.Epoch
 }
 
-// New creates an empty Deduplicator.
-func New() *Deduplicator {
+// New creates an empty Deduplicator with the default staleness window.
+func New() *Deduplicator { return NewWithStaleness(DefaultStaleness) }
+
+// NewWithStaleness creates an empty Deduplicator whose cross-epoch
+// tie-break only honors history at most window epochs old. A negative
+// window disables expiry (history always wins ties); zero selects
+// DefaultStaleness.
+func NewWithStaleness(window model.Epoch) *Deduplicator {
+	if window == 0 {
+		window = DefaultStaleness
+	}
 	return &Deduplicator{
 		lastReader: make(map[model.Tag]model.ReaderID),
 		lastAt:     make(map[model.Tag]model.Epoch),
+		staleness:  window,
 	}
+}
+
+// Staleness returns the configured recency window (negative = never
+// expires).
+func (d *Deduplicator) Staleness() model.Epoch { return d.staleness }
+
+// fresh reports whether the recorded history for tag g is recent enough at
+// epoch now to decide a tie.
+func (d *Deduplicator) fresh(g model.Tag, now model.Epoch) bool {
+	if d.staleness < 0 {
+		return true
+	}
+	at, ok := d.lastAt[g]
+	return ok && now-at <= d.staleness
 }
 
 // Clean resolves duplicates in one epoch's observation in place: each tag
@@ -49,12 +86,13 @@ func (d *Deduplicator) Clean(o *model.Observation) *model.Observation {
 		}
 		sort.Slice(readers, func(i, j int) bool { return readers[i] < readers[j] })
 		best := readers[0]
-		if last, ok := d.lastReader[g]; ok {
+		if last, ok := d.lastReader[g]; ok && d.fresh(g, o.Time) {
 			for _, r := range readers {
 				if r == last {
 					// The tag sticks with the reader it was most recently
 					// assigned to — the paper's "read the tag most
-					// recently" rule applied across epochs.
+					// recently" rule applied across epochs. History too old
+					// to be evidence of current proximity is skipped above.
 					best = r
 					break
 				}

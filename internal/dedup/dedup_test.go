@@ -98,3 +98,74 @@ func TestForget(t *testing.T) {
 		t.Errorf("forgotten tag must pick lowest reader: %v", o2.ByReader)
 	}
 }
+
+// TestCleanStaleHistoryDoesNotWin is the recency regression: a reader's
+// ancient claim on a tag (outside the staleness window) must not decide a
+// present-day tie against a reader that is co-reading the tag now.
+func TestCleanStaleHistoryDoesNotWin(t *testing.T) {
+	d := New()
+	o1 := model.NewObservation(1)
+	o1.Add(7, 10)
+	d.Clean(o1)
+	// Far outside the window, readers 3 and 7 both read the tag. Reader 7's
+	// history from epoch 1 is stale, so the deterministic lowest-reader rule
+	// applies instead of stickiness.
+	late := model.NewObservation(1 + DefaultStaleness + 1)
+	late.Add(7, 10)
+	late.Add(3, 10)
+	d.Clean(late)
+	if len(late.ByReader[3]) != 1 || len(late.ByReader[7]) != 0 {
+		t.Fatalf("stale history must not win the tie: %v", late.ByReader)
+	}
+	// The fresh assignment is recorded and becomes sticky again.
+	next := model.NewObservation(late.Time + 1)
+	next.Add(7, 10)
+	next.Add(3, 10)
+	d.Clean(next)
+	if len(next.ByReader[3]) != 1 {
+		t.Errorf("fresh assignment must be sticky: %v", next.ByReader)
+	}
+}
+
+// TestCleanStalenessBoundary pins the window edge: history exactly
+// `staleness` epochs old still counts; one epoch older does not.
+func TestCleanStalenessBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		gap        model.Epoch
+		wantReader model.ReaderID
+	}{
+		{DefaultStaleness, 7},     // at the boundary: still fresh
+		{DefaultStaleness + 1, 3}, // just past it: stale
+	} {
+		d := New()
+		o1 := model.NewObservation(1)
+		o1.Add(7, 10)
+		d.Clean(o1)
+		o2 := model.NewObservation(1 + tc.gap)
+		o2.Add(7, 10)
+		o2.Add(3, 10)
+		d.Clean(o2)
+		if len(o2.ByReader[tc.wantReader]) != 1 {
+			t.Errorf("gap %d: want reader %d to keep the tag: %v", tc.gap, tc.wantReader, o2.ByReader)
+		}
+	}
+}
+
+// TestCleanStalenessDisabled keeps the pre-window behavior reachable: a
+// negative window means history never expires.
+func TestCleanStalenessDisabled(t *testing.T) {
+	d := NewWithStaleness(-1)
+	if d.Staleness() >= 0 {
+		t.Fatalf("Staleness() = %d, want negative", d.Staleness())
+	}
+	o1 := model.NewObservation(1)
+	o1.Add(7, 10)
+	d.Clean(o1)
+	o2 := model.NewObservation(1_000_000)
+	o2.Add(7, 10)
+	o2.Add(3, 10)
+	d.Clean(o2)
+	if len(o2.ByReader[7]) != 1 {
+		t.Errorf("with expiry disabled the old reader must still win: %v", o2.ByReader)
+	}
+}

@@ -1,0 +1,62 @@
+package dedup
+
+import (
+	"fmt"
+	"sort"
+
+	"spire/internal/checkpoint"
+	"spire/internal/model"
+)
+
+// Snapshot serialization of the deduplication history. Every tracked tag
+// carries its sticky reader and the epoch it was last assigned; entries
+// are written in tag order for byte-stable output. The staleness window is
+// configuration, not state — the restoring side supplies it when it
+// constructs the Deduplicator.
+
+const sectionDedup = "DDUP"
+
+// entryEncSize is the encoded size of one history entry (tag + reader +
+// epoch), used to validate the count before allocating.
+const entryEncSize = 8 + 8 + 8
+
+// EncodeState appends the dedup history to e.
+func (d *Deduplicator) EncodeState(e *checkpoint.Encoder) {
+	e.Section(sectionDedup)
+	tags := make([]model.Tag, 0, len(d.lastReader))
+	for g := range d.lastReader {
+		tags = append(tags, g)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	e.Uint64(uint64(len(tags)))
+	for _, g := range tags {
+		e.Uint64(uint64(g))
+		e.Int64(int64(d.lastReader[g]))
+		e.Int64(int64(d.lastAt[g]))
+	}
+}
+
+// DecodeState fills an empty Deduplicator from dec. The receiver's
+// staleness window is preserved (it comes from configuration, not the
+// snapshot).
+func (d *Deduplicator) DecodeState(dec *checkpoint.Decoder) error {
+	dec.Section(sectionDedup)
+	n := dec.Count(entryEncSize)
+	for i := 0; i < n; i++ {
+		g := model.Tag(dec.Uint64())
+		r := model.ReaderID(dec.Int64())
+		at := model.Epoch(dec.Int64())
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if g == model.NoTag {
+			return fmt.Errorf("%w: dedup entry %d has zero tag", checkpoint.ErrCorrupt, i)
+		}
+		if _, dup := d.lastReader[g]; dup {
+			return fmt.Errorf("%w: duplicate dedup entry for tag %d", checkpoint.ErrCorrupt, g)
+		}
+		d.lastReader[g] = r
+		d.lastAt[g] = at
+	}
+	return dec.Err()
+}

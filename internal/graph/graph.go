@@ -196,10 +196,8 @@ type Graph struct {
 	// color, so the edge-creation step can find same-colored nodes in
 	// nearby layers without scanning the graph. It is reset lazily when a
 	// new epoch begins.
-	colored    [model.NumLevels]map[model.LocationID][]*Node
-	coloredAt  model.Epoch
-	zeroEpoch  bool // true once any update has run (epoch 0 is valid)
-	zipfLookup []float64
+	colored   [model.NumLevels]map[model.LocationID][]*Node
+	coloredAt model.Epoch
 
 	// freeEdges recycles removed Edge structs. Color-mismatch removal and
 	// edge pruning churn through many short-lived edges (millions over a

@@ -116,6 +116,11 @@ func veJSON(ve model.Epoch) *model.Epoch {
 
 func (h *Handler) handleObject(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/objects/")
+	if rest == "" {
+		// GET /v1/objects/ — the trailing-slash spelling of the listing.
+		h.handleObjects(w, r)
+		return
+	}
 	parts := strings.Split(rest, "/")
 	tagN, err := strconv.ParseUint(parts[0], 10, 64)
 	if err != nil || tagN == 0 {
@@ -123,6 +128,11 @@ func (h *Handler) handleObject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tag := model.Tag(tagN)
+	if !h.store.Known(tag) {
+		// Well-formed but unknown: a lookup miss, not a malformed request.
+		http.Error(w, "no such object", http.StatusNotFound)
+		return
+	}
 	switch {
 	case len(parts) == 1:
 		var stays []stayJSON

@@ -162,3 +162,37 @@ func TestErrors(t *testing.T) {
 		t.Errorf("POST = %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestObjectsListTrailingSlash: /v1/objects/ is the same listing as
+// /v1/objects, not a malformed object lookup.
+func TestObjectsListTrailingSlash(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/v1/objects/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/objects/ = %d, want 200", resp.StatusCode)
+	}
+	var tags []model.Tag
+	if err := json.NewDecoder(resp.Body).Decode(&tags); err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 || tags[0] != 2 || tags[1] != 4 {
+		t.Errorf("objects = %v, want [2 4]", tags)
+	}
+}
+
+// TestObjectUnknownTag: a well-formed tag the store has never seen is a
+// lookup miss (404), distinct from a malformed tag (400).
+func TestObjectUnknownTag(t *testing.T) {
+	srv, _ := newServer(t)
+	get(t, srv.URL+"/v1/objects/999", http.StatusNotFound)
+	get(t, srv.URL+"/v1/objects/999/at?t=5", http.StatusNotFound)
+	// Malformed spellings keep returning 400.
+	get(t, srv.URL+"/v1/objects/zzz", http.StatusBadRequest)
+	get(t, srv.URL+"/v1/objects/0", http.StatusBadRequest)
+	// Known objects are unaffected.
+	get(t, srv.URL+"/v1/objects/4", http.StatusOK)
+}

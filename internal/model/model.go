@@ -170,6 +170,20 @@ func (o *Observation) Add(r ReaderID, g Tag) {
 	o.ByReader[r] = append(o.ByReader[r], g)
 }
 
+// Clone returns a deep copy of the observation. ProcessEpoch mutates its
+// input in place (dedup, tombstone filtering), so callers that feed one
+// observation to several consumers — fault injectors, replay tests — must
+// clone first.
+func (o *Observation) Clone() *Observation {
+	c := &Observation{Time: o.Time, ByReader: make(map[ReaderID][]Tag, len(o.ByReader))}
+	for r, tags := range o.ByReader {
+		cp := make([]Tag, len(tags))
+		copy(cp, tags)
+		c.ByReader[r] = cp
+	}
+	return c
+}
+
 // Total returns the total number of readings in the observation.
 func (o *Observation) Total() int {
 	n := 0

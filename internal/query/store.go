@@ -167,6 +167,12 @@ func (s *Store) feed(e event.Event) error {
 // Events returns the number of events indexed.
 func (s *Store) Events() int64 { return s.events }
 
+// Known reports whether the stream has mentioned the object at all.
+func (s *Store) Known(obj model.Tag) bool {
+	_, ok := s.objects[obj]
+	return ok
+}
+
 // Objects returns every object the stream has mentioned, in tag order.
 func (s *Store) Objects() []model.Tag {
 	out := make([]model.Tag, 0, len(s.objects))

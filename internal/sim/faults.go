@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+
+	"spire/internal/model"
+	"spire/internal/stream"
+)
+
+// Fault injection for ingest hardening tests. A FaultInjector perturbs a
+// clean per-epoch observation trace the way a real reader deployment
+// fails: whole-reader dropout bursts, duplicated deliveries, adjacent
+// swaps (out-of-order arrival), and lost epochs. It is deterministic
+// under a fixed seed and never mutates the input trace — every emitted
+// observation is a fresh clone, since the substrate consumes observations
+// destructively.
+
+// FaultConfig parameterizes the injector. Zero values disable each fault.
+type FaultConfig struct {
+	// Seed drives the fault schedule deterministically.
+	Seed int64
+
+	// DropoutEvery starts a reader dropout burst every this many epochs;
+	// DropoutLen is the burst length in epochs. During a burst one
+	// randomly chosen reader goes silent (its readings are removed).
+	DropoutEvery model.Epoch
+	DropoutLen   model.Epoch
+
+	// DuplicateRate is the per-observation probability of being delivered
+	// twice in a row.
+	DuplicateRate float64
+
+	// SwapRate is the per-position probability of swapping an observation
+	// with its successor in delivery order (out-of-order arrival).
+	SwapRate float64
+
+	// DropEpochRate is the per-observation probability of the whole
+	// epoch's delivery being lost (an epoch gap).
+	DropEpochRate float64
+}
+
+// FaultInjector applies a FaultConfig to observation traces.
+type FaultInjector struct {
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+// NewFaultInjector builds an injector.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Apply returns the faulted delivery sequence for a clean epoch-ordered
+// trace. The input is not modified.
+func (f *FaultInjector) Apply(trace []*model.Observation) []*model.Observation {
+	out := make([]*model.Observation, 0, len(trace))
+	var burstVictim model.ReaderID
+	burstUntil := model.Epoch(-1)
+	for _, o := range trace {
+		c := o.Clone()
+
+		if f.cfg.DropoutEvery > 0 && f.cfg.DropoutLen > 0 {
+			if c.Time%f.cfg.DropoutEvery == 0 {
+				burstVictim = f.pickReader(c)
+				burstUntil = c.Time + f.cfg.DropoutLen
+			}
+			if c.Time < burstUntil {
+				delete(c.ByReader, burstVictim)
+			}
+		}
+
+		if f.cfg.DropEpochRate > 0 && f.rng.Float64() < f.cfg.DropEpochRate {
+			continue
+		}
+		out = append(out, c)
+		if f.cfg.DuplicateRate > 0 && f.rng.Float64() < f.cfg.DuplicateRate {
+			out = append(out, c.Clone())
+		}
+	}
+	if f.cfg.SwapRate > 0 {
+		for i := 0; i+1 < len(out); i++ {
+			if f.rng.Float64() < f.cfg.SwapRate {
+				out[i], out[i+1] = out[i+1], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// pickReader chooses the burst victim among the readers present in o,
+// deterministically given the rng state.
+func (f *FaultInjector) pickReader(o *model.Observation) model.ReaderID {
+	ids := make([]model.ReaderID, 0, len(o.ByReader))
+	for r := range o.ByReader {
+		ids = append(ids, r)
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[f.rng.Intn(len(ids))]
+}
+
+// TruncateMidRecord cuts a raw binary reading stream in the middle of the
+// given record (not on a record boundary), producing the torn tail a
+// crashed writer leaves behind.
+func TruncateMidRecord(raw []byte, record int) []byte {
+	cut := record*stream.ReadingSize + stream.ReadingSize/2
+	if cut > len(raw) {
+		cut = len(raw)
+	}
+	return raw[:cut]
+}

@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"spire/internal/model"
+)
+
+// FuzzDecodeReading: arbitrary bytes must decode or fail cleanly, and a
+// successful decode must re-encode to the same wire bytes.
+func FuzzDecodeReading(f *testing.F) {
+	f.Add(AppendReading(nil, model.Reading{Tag: 0xDEADBEEF, Reader: 7, Time: 12345}))
+	f.Add([]byte{})
+	f.Add(make([]byte, ReadingSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := DecodeReading(data)
+		if len(data) < ReadingSize {
+			if err == nil {
+				t.Fatalf("%d bytes decoded without error", len(data))
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("short-buffer error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("full record failed to decode: %v", err)
+		}
+		if re := AppendReading(nil, rd); !bytes.Equal(re, data[:ReadingSize]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:ReadingSize])
+		}
+	})
+}
+
+// FuzzReader: the streaming decoder must never panic, must return exactly
+// the whole-record prefix of any input, and must position its corruption
+// report at the first torn record.
+func FuzzReader(f *testing.F) {
+	var clean []byte
+	for i := 0; i < 3; i++ {
+		clean = AppendReading(clean, model.Reading{Tag: model.Tag(i + 1), Reader: 1, Time: model.Epoch(i)})
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)-ReadingSize/2])
+	f.Add([]byte("not a reading stream"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		out, err := r.ReadAll()
+		full := len(data) / ReadingSize
+		if len(out) != full {
+			t.Fatalf("decoded %d records, want the full-record prefix of %d", len(out), full)
+		}
+		if len(data)%ReadingSize == 0 {
+			if err != nil {
+				t.Fatalf("whole-record stream failed: %v", err)
+			}
+		} else {
+			var ce *CorruptError
+			if !errors.As(err, &ce) || !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("torn stream error %v, want *CorruptError wrapping ErrCorrupt", err)
+			}
+			if ce.Record != int64(full) || ce.Offset != int64(full*ReadingSize) {
+				t.Fatalf("corruption at record %d offset %d, want %d/%d",
+					ce.Record, ce.Offset, full, full*ReadingSize)
+			}
+		}
+		var re []byte
+		for _, rd := range out {
+			re = AppendReading(re, rd)
+		}
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatal("decoded prefix does not re-encode to the input bytes")
+		}
+		// A second Read after exhaustion stays terminal.
+		if _, err := r.Read(); err == nil {
+			t.Fatal("Read past the end returned no error")
+		} else if len(data)%ReadingSize == 0 && err != io.EOF {
+			t.Fatalf("clean end returned %v, want io.EOF", err)
+		}
+	})
+}

@@ -29,6 +29,25 @@ const ReadingSize = 8 + 4 + 8
 // ErrCorrupt reports a malformed raw stream.
 var ErrCorrupt = errors.New("stream: corrupt raw reading stream")
 
+// CorruptError reports where a raw stream died: the zero-based index of
+// the record that could not be decoded and the byte offset at which it
+// starts. It unwraps to ErrCorrupt, so errors.Is(err, ErrCorrupt) keeps
+// working for callers that don't care about position.
+type CorruptError struct {
+	Record int64 // index of the unreadable record
+	Offset int64 // byte offset where that record starts
+	Err    error // underlying cause (e.g. io.ErrUnexpectedEOF)
+}
+
+// Error formats the position and cause.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("stream: corrupt raw reading stream: record %d at byte offset %d: %v",
+		e.Record, e.Offset, e.Err)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) true.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
 // AppendReading appends the wire form of r to dst and returns the extended
 // slice.
 func AppendReading(dst []byte, r model.Reading) []byte {
@@ -112,7 +131,8 @@ func (w *Writer) Count() int64 { return w.count }
 
 // Reader decodes a raw reading stream.
 type Reader struct {
-	r *bufio.Reader
+	r     *bufio.Reader
+	count int64 // records decoded successfully
 }
 
 // NewReader returns a Reader decoding from r.
@@ -120,24 +140,36 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
+// Count returns the number of records decoded successfully so far. After
+// a *CorruptError it is also the index of the record that failed.
+func (r *Reader) Count() int64 { return r.count }
+
+// Offset returns the byte offset of the next record boundary — the number
+// of bytes consumed by successful decodes.
+func (r *Reader) Offset() int64 { return r.count * ReadingSize }
+
 // Read decodes the next reading. It returns io.EOF at a clean end of
-// stream and ErrCorrupt if the stream ends mid-record.
+// stream, and a *CorruptError (wrapping ErrCorrupt) carrying the record
+// index and byte offset if the stream ends mid-record.
 func (r *Reader) Read() (model.Reading, error) {
 	var buf [ReadingSize]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
 		if err == io.EOF {
 			return model.Reading{}, io.EOF
 		}
-		return model.Reading{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return model.Reading{}, &CorruptError{Record: r.count, Offset: r.count * ReadingSize, Err: err}
 	}
 	rd, err := DecodeReading(buf[:])
 	if err != nil {
-		return model.Reading{}, err
+		return model.Reading{}, &CorruptError{Record: r.count, Offset: r.count * ReadingSize, Err: err}
 	}
+	r.count++
 	return rd, nil
 }
 
-// ReadAll decodes the remainder of the stream.
+// ReadAll decodes the remainder of the stream. On a corrupt stream it
+// returns every reading successfully decoded before the failure alongside
+// the *CorruptError, so a torn tail costs only the torn record.
 func (r *Reader) ReadAll() ([]model.Reading, error) {
 	var out []model.Reading
 	for {

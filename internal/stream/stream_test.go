@@ -2,7 +2,10 @@ package stream
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -148,5 +151,67 @@ func TestQuickReadingRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCorruptErrorPosition pins the corruption report: the error names the
+// zero-based index of the unreadable record and the byte offset at which
+// it starts, and unwraps to ErrCorrupt.
+func TestCorruptErrorPosition(t *testing.T) {
+	var b []byte
+	for i := 0; i < 5; i++ {
+		b = AppendReading(b, model.Reading{Tag: model.Tag(i + 1), Reader: 1, Time: model.Epoch(i)})
+	}
+	// Tear the stream in the middle of record 3.
+	torn := b[:3*ReadingSize+ReadingSize/2]
+	r := NewReader(bytes.NewReader(torn))
+	got, err := r.ReadAll()
+	if len(got) != 3 {
+		t.Fatalf("decoded prefix has %d readings, want 3", len(got))
+	}
+	for i, rd := range got {
+		if rd.Tag != model.Tag(i+1) {
+			t.Errorf("prefix reading %d: got tag %d, want %d", i, rd.Tag, i+1)
+		}
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T %v, want *CorruptError", err, err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Error("CorruptError must unwrap to ErrCorrupt")
+	}
+	if ce.Record != 3 || ce.Offset != 3*ReadingSize {
+		t.Errorf("position: record %d offset %d, want record 3 offset %d", ce.Record, ce.Offset, 3*ReadingSize)
+	}
+	if !strings.Contains(ce.Error(), "record 3") || !strings.Contains(ce.Error(), fmt.Sprintf("byte offset %d", 3*ReadingSize)) {
+		t.Errorf("message %q must include record index and byte offset", ce.Error())
+	}
+	// Reader accessors agree with the error.
+	if r.Count() != 3 || r.Offset() != 3*ReadingSize {
+		t.Errorf("Count/Offset = %d/%d, want 3/%d", r.Count(), r.Offset(), 3*ReadingSize)
+	}
+}
+
+// TestReaderCountOffset tracks the accessors through a healthy stream.
+func TestReaderCountOffset(t *testing.T) {
+	var b []byte
+	for i := 0; i < 4; i++ {
+		b = AppendReading(b, model.Reading{Tag: model.Tag(i + 1)})
+	}
+	r := NewReader(bytes.NewReader(b))
+	for i := 0; i < 4; i++ {
+		if r.Count() != int64(i) || r.Offset() != int64(i*ReadingSize) {
+			t.Fatalf("before read %d: Count/Offset = %d/%d", i, r.Count(), r.Offset())
+		}
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if r.Count() != 4 || r.Offset() != int64(4*ReadingSize) {
+		t.Errorf("at EOF: Count/Offset = %d/%d", r.Count(), r.Offset())
 	}
 }
