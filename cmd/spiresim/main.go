@@ -7,17 +7,25 @@
 //
 //	spiresim -duration 3600 -read-rate 0.85 -o trace.bin
 //	spire -input trace.bin
+//
+// -metrics-addr serves generation progress counters on GET /metrics in
+// Prometheus text format; -telemetry-dump prints a final snapshot to
+// stderr. Neither affects the generated stream.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
+	"spire/internal/httpapi"
 	"spire/internal/model"
 	"spire/internal/sim"
 	"spire/internal/stream"
+	"spire/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +51,9 @@ func run() error {
 		shelves = flag.Int("shelves", cfg.NumShelves, "number of shelf locations")
 		shelfT  = flag.Int64("shelf-time", int64(cfg.ShelfTime), "mean shelving duration in epochs")
 		theft   = flag.Int64("theft-interval", int64(cfg.TheftInterval), "epochs between thefts (0 = none)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address while generating")
+		telDump     = flag.Bool("telemetry-dump", false, "print a final metrics snapshot to stderr")
 	)
 	flag.Parse()
 
@@ -62,6 +73,29 @@ func run() error {
 		return err
 	}
 
+	// Progress counters for long generations; scraping them never touches
+	// the simulator state, so the generated stream is unaffected.
+	var reg *telemetry.Registry
+	var epochsC, readingsC, bytesC *telemetry.Counter
+	if *metricsAddr != "" || *telDump {
+		reg = telemetry.NewRegistry()
+		epochsC = reg.Counter("spiresim_epochs_total", "Simulated epochs generated.")
+		readingsC = reg.Counter("spiresim_readings_total", "Raw tag readings written.")
+		bytesC = reg.Counter("spiresim_bytes_total", "Raw stream bytes written.")
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "spiresim: serving /metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, httpapi.New(nil, nil).EnableMetrics(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "spiresim: metrics server:", err)
+			}
+		}()
+	}
+
 	var dst io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -72,6 +106,7 @@ func run() error {
 		dst = f
 	}
 	w := stream.NewWriter(dst)
+	var lastReadings, lastBytes int64
 	for !s.Done() {
 		o, err := s.Step()
 		if err != nil {
@@ -80,9 +115,21 @@ func run() error {
 		if err := w.WriteObservation(o); err != nil {
 			return err
 		}
+		if reg != nil {
+			epochsC.Inc()
+			readingsC.Add(w.Count() - lastReadings)
+			bytesC.Add(w.Bytes() - lastBytes)
+			lastReadings, lastBytes = w.Count(), w.Bytes()
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+	if *telDump {
+		fmt.Fprintln(os.Stderr, "spiresim: final telemetry snapshot:")
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			return err
+		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "spiresim: %d epochs, %d readings, %d bytes, %d thefts, peak population %d\n",

@@ -1,0 +1,64 @@
+package checkpoint
+
+import (
+	"io"
+	"time"
+
+	"spire/internal/telemetry"
+)
+
+// Instruments are the durability layer's runtime-telemetry metrics:
+// snapshot size tracks state growth (the snapshot is a serialization of
+// everything the pipeline holds), and write latency is the stall a
+// periodic checkpoint inserts into the epoch loop. A nil *Instruments
+// records nothing.
+type Instruments struct {
+	Writes       *telemetry.Counter
+	BytesWritten *telemetry.Counter
+	LastBytes    *telemetry.Gauge
+	WriteSeconds *telemetry.Histogram
+}
+
+// NewInstruments registers the checkpoint metrics on reg. Returns nil
+// when reg is nil.
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		Writes: reg.Counter("spire_checkpoint_writes_total",
+			"Snapshots written successfully."),
+		BytesWritten: reg.Counter("spire_checkpoint_bytes_total",
+			"Total snapshot bytes written."),
+		LastBytes: reg.Gauge("spire_checkpoint_last_bytes",
+			"Size of the most recent snapshot."),
+		WriteSeconds: reg.Histogram("spire_checkpoint_write_seconds",
+			"Wall-clock latency of one atomic snapshot write (encode + fsync + rename).",
+			telemetry.DefLatencyBuckets),
+	}
+}
+
+// ObserveWrite records one successful snapshot write.
+func (ins *Instruments) ObserveWrite(bytes int64, d time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.Writes.Inc()
+	ins.BytesWritten.Add(bytes)
+	ins.LastBytes.Set(bytes)
+	ins.WriteSeconds.Observe(d.Seconds())
+}
+
+// CountingWriter wraps a writer and tallies the bytes that pass through —
+// how SnapshotToFile learns the snapshot size without buffering it twice.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.N += int64(n)
+	return n, err
+}

@@ -107,6 +107,11 @@ type Substrate struct {
 	stats    Stats
 	lastNow  model.Epoch
 
+	// tel holds the optional runtime-telemetry instruments (nil when
+	// disabled); see telemetry.go. Recording is observation-only and never
+	// influences processing.
+	tel *Instruments
+
 	// raw is the pooled KeepRawResult copy, reset and refilled each epoch
 	// instead of allocating fresh maps; it shares the Result lifetime
 	// contract of ProcessEpoch.
@@ -129,6 +134,7 @@ type compressor interface {
 	Compress(*inference.Result) []event.Event
 	Retire(model.Tag, model.Epoch) []event.Event
 	Close(model.Epoch) []event.Event
+	Opens() (locations, containments int)
 }
 
 // New builds a substrate.
@@ -218,9 +224,20 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 	}
 	s.lastNow = o.Time
 	now := o.Time
+	rawReadings := int64(o.Total())
 	s.stats.Epochs++
-	s.stats.Readings += int64(o.Total())
-	s.stats.RawBytes += int64(o.Total()) * stream.ReadingSize
+	s.stats.Readings += rawReadings
+	s.stats.RawBytes += rawReadings * stream.ReadingSize
+
+	// Telemetry marks. All recording below is gated on tel != nil so the
+	// uninstrumented path takes no extra clock reads, and every recording
+	// call is observation-only — the transparency tests pin that enabling
+	// telemetry changes no output byte.
+	tel := s.tel
+	var mark time.Time
+	if tel != nil {
+		mark = time.Now()
+	}
 
 	s.dedup.Clean(o)
 	if len(s.tombstones) > 0 {
@@ -241,6 +258,12 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		}
 	}
 
+	if tel != nil {
+		next := time.Now()
+		tel.StageDedup.Observe(next.Sub(mark).Seconds())
+		mark = next
+	}
+
 	start := time.Now()
 	for _, id := range s.order {
 		tags, ok := o.ByReader[id]
@@ -257,6 +280,11 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		}
 	}
 	s.stats.UpdateTime += time.Since(start)
+	if tel != nil {
+		next := time.Now()
+		tel.StageUpdate.Observe(next.Sub(mark).Seconds())
+		mark = next
+	}
 
 	start = time.Now()
 	mode := s.schedule.ModeAt(now)
@@ -277,8 +305,18 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		maps.Copy(raw.Locations, res.Locations)
 		maps.Copy(raw.Parents, res.Parents)
 	}
+	if tel != nil {
+		next := time.Now()
+		tel.StageInfer.Observe(next.Sub(mark).Seconds())
+		mark = next
+	}
 	inference.ResolveConflicts(res, levelOf)
 	s.stats.InferenceTime += time.Since(start)
+	if tel != nil {
+		next := time.Now()
+		tel.StageConflict.Observe(next.Sub(mark).Seconds())
+		mark = next
+	}
 
 	out := &EpochOutput{Result: res, RawResult: raw, Mode: mode}
 	out.Events = s.comp.Compress(res)
@@ -296,8 +334,18 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 	}
 	out.Retired = retired
 
+	evBytes := event.StreamSize(out.Events)
 	s.stats.Events += int64(len(out.Events))
-	s.stats.EventBytes += event.StreamSize(out.Events)
+	s.stats.EventBytes += evBytes
+	if tel != nil {
+		tel.StageCompress.Observe(time.Since(mark).Seconds())
+		tel.Epochs.Inc()
+		tel.Readings.Add(rawReadings)
+		tel.Retired.Add(int64(len(retired)))
+		tel.Graph.Record(s.graph)
+		openLocs, openConts := s.comp.Opens()
+		tel.Comp.Record(openLocs, openConts, len(out.Events), evBytes)
+	}
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"spire/internal/model"
 )
@@ -71,7 +72,7 @@ func (r *Runner) Run(ctx context.Context, in <-chan *model.Observation, out chan
 			return ctx.Err()
 		case o, ok := <-in:
 			if !ok {
-				if err := r.process(ctx, r.gate.Drain(), out); err != nil {
+				if err := r.process(ctx, r.drainGate(), out); err != nil {
 					return err
 				}
 				closing := r.sub.Close(r.sub.LastEpoch() + 1)
@@ -90,11 +91,35 @@ func (r *Runner) Run(ctx context.Context, in <-chan *model.Observation, out chan
 				}
 				return nil
 			}
-			if err := r.process(ctx, r.gate.Offer(o), out); err != nil {
+			if err := r.process(ctx, r.offerGate(o), out); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// offerGate and drainGate run the ingest gate, recording the stage latency
+// when the substrate is instrumented.
+func (r *Runner) offerGate(o *model.Observation) []*model.Observation {
+	tel := r.sub.tel
+	if tel == nil {
+		return r.gate.Offer(o)
+	}
+	start := time.Now()
+	obs := r.gate.Offer(o)
+	tel.StageIngest.Observe(time.Since(start).Seconds())
+	return obs
+}
+
+func (r *Runner) drainGate() []*model.Observation {
+	tel := r.sub.tel
+	if tel == nil {
+		return r.gate.Drain()
+	}
+	start := time.Now()
+	obs := r.gate.Drain()
+	tel.StageIngest.Observe(time.Since(start).Seconds())
+	return obs
 }
 
 // process runs the substrate over gated observations, forwards the

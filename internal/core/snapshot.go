@@ -228,8 +228,24 @@ func (s *Substrate) LastEpoch() model.Epoch { return s.lastNow }
 
 // SnapshotToFile writes a snapshot to path atomically (tmp + fsync +
 // rename), so a crash mid-checkpoint leaves the previous snapshot intact.
+// On an instrumented substrate the snapshot size and write latency are
+// recorded; the written bytes are identical either way.
 func (s *Substrate) SnapshotToFile(path string) error {
-	return checkpoint.WriteFileAtomic(path, s.Snapshot)
+	if s.tel == nil {
+		return checkpoint.WriteFileAtomic(path, s.Snapshot)
+	}
+	start := time.Now()
+	var written int64
+	err := checkpoint.WriteFileAtomic(path, func(w io.Writer) error {
+		cw := &checkpoint.CountingWriter{W: w}
+		err := s.Snapshot(cw)
+		written = cw.N
+		return err
+	})
+	if err == nil {
+		s.tel.Ckpt.ObserveWrite(written, time.Since(start))
+	}
+	return err
 }
 
 // RestoreSubstrateFromFile restores a substrate from a snapshot file.

@@ -33,6 +33,10 @@ type Deduplicator struct {
 	// staleness is the recency window; negative means history never
 	// expires.
 	staleness model.Epoch
+
+	// ins are the optional telemetry instruments (nil when disabled); see
+	// telemetry.go.
+	ins *Instruments
 }
 
 // New creates an empty Deduplicator with the default staleness window.
@@ -84,6 +88,9 @@ func (d *Deduplicator) Clean(o *model.Observation) *model.Observation {
 			assigned[g] = readers[0]
 			continue
 		}
+		if d.ins != nil {
+			d.ins.Duplicates.Inc()
+		}
 		sort.Slice(readers, func(i, j int) bool { return readers[i] < readers[j] })
 		best := readers[0]
 		if last, ok := d.lastReader[g]; ok && d.fresh(g, o.Time) {
@@ -115,8 +122,16 @@ func (d *Deduplicator) Clean(o *model.Observation) *model.Observation {
 		o.ByReader[r] = kept
 	}
 	for g, r := range assigned {
+		if d.ins != nil {
+			if last, ok := d.lastReader[g]; ok && last != r && len(readersOf[g]) > 1 {
+				d.ins.Reassignments.Inc()
+			}
+		}
 		d.lastReader[g] = r
 		d.lastAt[g] = o.Time
+	}
+	if d.ins != nil {
+		d.ins.Tracked.Set(int64(len(d.lastReader)))
 	}
 	return o
 }

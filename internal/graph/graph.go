@@ -236,6 +236,10 @@ func (g *Graph) Len() int { return len(g.nodes) }
 // EdgeCount returns the number of edges.
 func (g *Graph) EdgeCount() int { return g.edges }
 
+// FreeEdgeCount returns the number of recycled Edge structs parked on the
+// free list — retained memory that Len/EdgeCount alone would hide.
+func (g *Graph) FreeEdgeCount() int { return len(g.freeEdges) }
+
 // Nodes calls f for every node; iteration order is unspecified.
 func (g *Graph) Nodes(f func(*Node)) {
 	for _, n := range g.nodes {

@@ -1,0 +1,38 @@
+package graph
+
+import "spire/internal/telemetry"
+
+// Instruments are the graph's runtime-telemetry gauges: structural state
+// growth is the number one thing an operator of the streaming pipeline
+// watches (the graph is the only unbounded state the substrate holds).
+// A nil *Instruments records nothing.
+type Instruments struct {
+	Nodes     *telemetry.Gauge
+	Edges     *telemetry.Gauge
+	FreeEdges *telemetry.Gauge
+}
+
+// NewInstruments registers the graph gauges on reg. Returns nil when reg
+// is nil, which makes every Record call a no-op.
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		Nodes:     reg.Gauge("spire_graph_nodes", "Objects currently tracked in the time-varying graph."),
+		Edges:     reg.Gauge("spire_graph_edges", "Possible-containment edges currently in the graph."),
+		FreeEdges: reg.Gauge("spire_graph_free_edges", "Recycled Edge structs parked on the free list."),
+	}
+}
+
+// Record captures the graph's structural state into the gauges. The
+// caller decides the cadence (the substrate records once per epoch); the
+// gauges themselves are safe to read concurrently from a scrape handler.
+func (ins *Instruments) Record(g *Graph) {
+	if ins == nil {
+		return
+	}
+	ins.Nodes.Set(int64(g.Len()))
+	ins.Edges.Set(int64(g.EdgeCount()))
+	ins.FreeEdges.Set(int64(g.FreeEdgeCount()))
+}

@@ -2,7 +2,7 @@
 // statistics) over HTTP as JSON — the integration surface a monitoring
 // dashboard or downstream warehouse application would consume.
 //
-// Routes (all GET):
+// Routes (all GET; any other method gets 405 with an Allow header):
 //
 //	/v1/stats                         pipeline/stream statistics
 //	/v1/objects                       all object tags
@@ -10,22 +10,29 @@
 //	/v1/objects/{tag}/at?t=<epoch>    location + container at time t
 //	/v1/locations/{id}/at?t=<epoch>   occupancy at time t
 //	/v1/missing?t=<epoch>             objects missing at time t
+//	/metrics                          Prometheus text format (EnableMetrics)
+//	/debug/pprof/...                  runtime profiles (EnablePprof)
 //
 // The handler serves reads only; feeding the store concurrently with
 // serving requires external synchronization (the store is not
 // goroutine-safe), so deployments typically snapshot or serialize through
-// a single loop.
+// a single loop. /metrics is the exception: the telemetry registry is
+// built from atomics and safe to scrape while the pipeline runs, which is
+// why a metrics-only handler (nil store) is allowed — the store routes
+// then answer 503.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
 	"spire/internal/model"
 	"spire/internal/query"
+	"spire/internal/telemetry"
 )
 
 // StatsFunc supplies live statistics for /v1/stats.
@@ -38,28 +45,66 @@ type Handler struct {
 	mux   *http.ServeMux
 }
 
-// New builds a Handler over store; stats may be nil.
+// New builds a Handler over store; stats may be nil. A nil store is
+// allowed for metrics-only deployments (cmd/spire's -metrics-addr):
+// store-backed routes then return 503 until a store is attached.
 func New(store *query.Store, stats StatsFunc) *Handler {
 	h := &Handler{store: store, stats: stats, mux: http.NewServeMux()}
-	h.mux.HandleFunc("/v1/stats", h.handleStats)
-	h.mux.HandleFunc("/v1/objects", h.handleObjects)
-	h.mux.HandleFunc("/v1/objects/", h.handleObject)
-	h.mux.HandleFunc("/v1/locations/", h.handleLocation)
-	h.mux.HandleFunc("/v1/missing", h.handleMissing)
+	h.mux.HandleFunc("/v1/stats", h.withStore(h.handleStats))
+	h.mux.HandleFunc("/v1/objects", h.withStore(h.handleObjects))
+	h.mux.HandleFunc("/v1/objects/", h.withStore(h.handleObject))
+	h.mux.HandleFunc("/v1/locations/", h.withStore(h.handleLocation))
+	h.mux.HandleFunc("/v1/missing", h.withStore(h.handleMissing))
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// EnableMetrics registers GET /metrics serving reg in the Prometheus text
+// exposition format. Scraping is safe while the pipeline runs.
+func (h *Handler) EnableMetrics(reg *telemetry.Registry) *Handler {
+	h.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	return h
+}
+
+// EnablePprof registers the net/http/pprof profile handlers under
+// /debug/pprof/. Off by default: profiles expose internals and cost CPU,
+// so binaries gate this behind an explicit flag.
+func (h *Handler) EnablePprof() *Handler {
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return h
+}
+
+// ServeHTTP implements http.Handler. Every route is read-only, so
+// anything but GET is rejected up front — 405 with the Allow header RFC
+// 9110 requires, never a misleading 404.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	h.mux.ServeHTTP(w, r)
 }
 
+// withStore guards a store-backed route against a metrics-only handler.
+func (h *Handler) withStore(f http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h.store == nil {
+			http.Error(w, "no query store attached", http.StatusServiceUnavailable)
+			return
+		}
+		f(w, r)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {

@@ -2,13 +2,16 @@ package httpapi
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"spire/internal/event"
 	"spire/internal/model"
 	"spire/internal/query"
+	"spire/internal/telemetry"
 )
 
 func newServer(t *testing.T) (*httptest.Server, *query.Store) {
@@ -195,4 +198,167 @@ func TestObjectUnknownTag(t *testing.T) {
 	get(t, srv.URL+"/v1/objects/0", http.StatusBadRequest)
 	// Known objects are unaffected.
 	get(t, srv.URL+"/v1/objects/4", http.StatusOK)
+}
+
+// TestMethodNotAllowed: the API is read-only, so every non-GET method on
+// every route gets 405 with an Allow header — never a misleading 404.
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newServer(t)
+	paths := []string{
+		"/v1/stats", "/v1/objects", "/v1/objects/4",
+		"/v1/objects/4/at?t=5", "/v1/locations/0/at?t=5",
+		"/v1/missing?t=25", "/metrics", "/no/such/route",
+	}
+	methods := []string{
+		http.MethodPost, http.MethodPut, http.MethodDelete,
+		http.MethodPatch, http.MethodHead, "BREW",
+	}
+	for _, path := range paths {
+		for _, method := range methods {
+			t.Run(method+" "+path, func(t *testing.T) {
+				req, err := http.NewRequest(method, srv.URL+path, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusMethodNotAllowed {
+					t.Errorf("%s %s = %d, want 405", method, path, resp.StatusCode)
+				}
+				if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+					t.Errorf("Allow = %q, want %q", allow, http.MethodGet)
+				}
+			})
+		}
+	}
+}
+
+// TestJSONContentType: every JSON response declares its charset.
+func TestJSONContentType(t *testing.T) {
+	srv, _ := newServer(t)
+	for _, path := range []string{
+		"/v1/stats", "/v1/objects", "/v1/objects/4",
+		"/v1/objects/4/at?t=5", "/v1/locations/0/at?t=5", "/v1/missing?t=25",
+	} {
+		t.Run(path, func(t *testing.T) {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+			}
+			const want = "application/json; charset=utf-8"
+			if ct := resp.Header.Get("Content-Type"); ct != want {
+				t.Errorf("Content-Type = %q, want %q", ct, want)
+			}
+		})
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics serves the registry in Prometheus text
+// format with the exposition content type, and covers the stage-latency
+// histograms and graph gauges the monitoring story is built on.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Histogram("spire_epoch_stage_seconds", "Stage latency.",
+		telemetry.DefLatencyBuckets, "stage", "inference").Observe(0.002)
+	reg.Gauge("spire_graph_nodes", "Graph node count.").Set(42)
+	reg.Counter("spire_epochs_total", "Epochs processed.").Add(7)
+
+	h := New(query.NewStore(), nil).EnableMetrics(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE spire_epoch_stage_seconds histogram",
+		`spire_epoch_stage_seconds_bucket{stage="inference",le="+Inf"} 1`,
+		`spire_epoch_stage_seconds_count{stage="inference"} 1`,
+		"# TYPE spire_graph_nodes gauge",
+		"spire_graph_nodes 42",
+		"# TYPE spire_epochs_total counter",
+		"spire_epochs_total 7",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestMetricsOnlyHandler: a nil store is a supported deployment shape for
+// serving metrics while the pipeline runs — store routes answer 503, not
+// a panic, and /metrics works.
+func TestMetricsOnlyHandler(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("spire_epochs_total", "Epochs processed.").Inc()
+	h := New(nil, nil).EnableMetrics(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/v1/objects", "/v1/objects/4", "/v1/objects/4/at?t=5",
+		"/v1/locations/0/at?t=5", "/v1/missing?t=25",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s = %d, want 503", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPprofGated: the profile handlers exist only after EnablePprof.
+func TestPprofGated(t *testing.T) {
+	off := httptest.NewServer(New(query.NewStore(), nil))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof = %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(query.NewStore(), nil).EnablePprof())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index = %d, want 200", resp.StatusCode)
+	}
 }

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sampleLine writes one `name{labels} value` line; labels may be empty.
+func sampleLine(w io.Writer, name, labels, value string) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, value)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	return err
+}
+
+// mergeLabels appends extra to a rendered label set.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// cumulative le-labeled buckets plus _sum and _count for histograms.
+// Output order is the stable Snapshot order. Safe to call concurrently
+// with metric recording. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshot()
+	lastName := ""
+	for _, m := range snaps {
+		if m.Name != lastName {
+			if help := strings.TrimSpace(m.Help); help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				le := mergeLabels(m.Labels, `le="`+formatValue(b.UpperBound)+`"`)
+				if err := sampleLine(w, m.Name+"_bucket", le, strconv.FormatUint(b.Count, 10)); err != nil {
+					return err
+				}
+			}
+			if err := sampleLine(w, m.Name+"_sum", m.Labels, formatValue(m.Sum)); err != nil {
+				return err
+			}
+			if err := sampleLine(w, m.Name+"_count", m.Labels, strconv.FormatUint(m.Count, 10)); err != nil {
+				return err
+			}
+		default:
+			if err := sampleLine(w, m.Name, m.Labels, formatValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
