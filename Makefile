@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json cover experiments experiments-full tools clean
+.PHONY: all build test race bench bench-json bench-check cover experiments experiments-full tools clean
 
 all: build test
 
@@ -24,6 +24,13 @@ bench:
 bench-json:
 	go run ./cmd/spirebench -quick -expt all -json BENCH_$$(date +%Y%m%d_%H%M%S).json
 
+# Rerun the quick-scale experiments and gate against the committed
+# baseline: fails when a Table III timing regresses more than 20%.
+# This is what the CI bench-regression job runs.
+bench-check:
+	go run ./cmd/spirebench -quick -expt all -json BENCH_check.json
+	go run ./cmd/spirebenchdiff -baseline BENCH_baseline.json -current BENCH_check.json -max-regression 0.20
+
 cover:
 	go test -cover ./internal/...
 
@@ -39,6 +46,7 @@ tools:
 	go build -o bin/spire ./cmd/spire
 	go build -o bin/spiresim ./cmd/spiresim
 	go build -o bin/spirebench ./cmd/spirebench
+	go build -o bin/spirebenchdiff ./cmd/spirebenchdiff
 	go build -o bin/spirequery ./cmd/spirequery
 	go build -o bin/spiredecompress ./cmd/spiredecompress
 

@@ -29,17 +29,30 @@
 // metrics snapshot to stderr after the run. Instrumentation is
 // observation-only — the emitted event stream and checkpoints are
 // byte-identical with or without it.
+//
+// Tracing: -trace-epochs keeps a flight recorder of the last N epochs'
+// spans; -trace-tags records per-tag decision provenance ('all' or a
+// comma-separated tag list), served as GET /v1/explain/{tag} and
+// GET /debug/trace on the metrics listener; -trace-dump writes the
+// recorder as JSONL at exit. SIGQUIT dumps the recorder to stderr while
+// the run continues; SIGINT/SIGTERM shut down gracefully, flushing the
+// output sink, a final checkpoint, and the telemetry/trace dumps. Like
+// telemetry, tracing is observation-only. -log-level sets the structured
+// log level, optionally per component ("warn,ingest=debug").
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"spire/internal/core"
 	"spire/internal/epc"
@@ -50,6 +63,7 @@ import (
 	"spire/internal/sim"
 	"spire/internal/stream"
 	"spire/internal/telemetry"
+	"spire/internal/trace"
 )
 
 func main() {
@@ -85,8 +99,18 @@ func run() error {
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address while running")
 		pprofFlag   = flag.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr")
 		telDump     = flag.Bool("telemetry-dump", false, "print a final metrics snapshot to stderr after the run")
+
+		traceEpochs = flag.Int("trace-epochs", 0, "flight-recorder capacity in epochs (0 = default 256 when tracing is otherwise enabled)")
+		traceTags   = flag.String("trace-tags", "", "record per-tag decision provenance: 'all' or comma-separated decimal tags")
+		traceDump   = flag.String("trace-dump", "", "write the flight recorder and provenance records as JSONL to this file at exit")
+		logSpec     = flag.String("log-level", "", "log level (debug|info|warn|error), optionally per component: 'warn,ingest=debug'")
 	)
 	flag.Parse()
+	logging, err := trace.NewLogging(os.Stderr, *logSpec)
+	if err != nil {
+		return err
+	}
+	logMain := logging.Component("spire")
 	if *input == "" && !*simulate {
 		*simulate = true
 	}
@@ -113,7 +137,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("restore %s: %w", *restore, err)
 		}
-		fmt.Fprintf(os.Stderr, "spire: restored snapshot %s at epoch %d\n", *restore, sub.LastEpoch())
+		logMain.Info("restored snapshot", "path", *restore, "epoch", sub.LastEpoch())
 	} else {
 		icfg := inference.DefaultConfig()
 		icfg.Beta, icfg.Gamma, icfg.Theta = *beta, *gamma, *theta
@@ -138,6 +162,29 @@ func run() error {
 		reg = telemetry.NewRegistry()
 		sub.Instrument(reg)
 	}
+
+	// Tracing is likewise opt-in: any trace flag attaches a recorder.
+	var rec *trace.Recorder
+	if *traceEpochs > 0 || *traceTags != "" || *traceDump != "" {
+		all, tags, err := trace.ParseTags(*traceTags)
+		if err != nil {
+			return err
+		}
+		rec = trace.New(trace.Config{Epochs: *traceEpochs, All: all, Tags: tags})
+		sub.Trace(rec)
+	}
+	// On panic, salvage the flight recorder before dying: the last few
+	// epochs' spans are exactly the forensics a crash needs.
+	defer func() {
+		if p := recover(); p != nil {
+			if rec != nil {
+				fmt.Fprintln(os.Stderr, "spire: panic, dumping flight recorder:")
+				_ = rec.DumpJSONL(os.Stderr)
+			}
+			panic(p)
+		}
+	}()
+
 	if *metricsAddr != "" || *pprofFlag {
 		addr := *metricsAddr
 		if addr == "" {
@@ -147,14 +194,17 @@ func run() error {
 		if *pprofFlag {
 			h.EnablePprof()
 		}
+		if rec != nil {
+			h.EnableTrace(rec)
+		}
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "spire: serving /metrics on http://%s/metrics\n", ln.Addr())
+		logMain.Info("serving metrics", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
 		go func() {
 			if err := http.Serve(ln, h); err != nil {
-				fmt.Fprintln(os.Stderr, "spire: metrics server:", err)
+				logMain.Error("metrics server failed", "error", err)
 			}
 		}()
 	}
@@ -169,6 +219,24 @@ func run() error {
 		CheckpointEvery: *ckptEvery,
 		Ingest:          core.IngestConfig{Policy: ingestPolicy},
 	})
+
+	// SIGINT/SIGTERM cancel the runner's context for a graceful shutdown:
+	// the output sink, a final checkpoint, and the telemetry/trace dumps
+	// all still flush. SIGQUIT dumps the flight recorder to stderr and
+	// lets the run continue.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if rec != nil {
+		sigq := make(chan os.Signal, 1)
+		signal.Notify(sigq, syscall.SIGQUIT)
+		defer signal.Stop(sigq)
+		go func() {
+			for range sigq {
+				fmt.Fprintln(os.Stderr, "spire: SIGQUIT, dumping flight recorder:")
+				_ = rec.DumpJSONL(os.Stderr)
+			}
+		}()
+	}
 
 	// Feed observations to the runner, skipping epochs a restored snapshot
 	// already processed (the input is replayed from its beginning).
@@ -185,17 +253,32 @@ func run() error {
 			feedErr <- feedStream(*input, skipThrough, obsCh)
 		}
 	}()
-	go func() { runErr <- runner.Run(context.Background(), obsCh, outCh) }()
+	go func() { runErr <- runner.Run(ctx, obsCh, outCh) }()
 
 	for po := range outCh {
 		if err := emit(po.Events); err != nil {
 			return err
 		}
 	}
-	if err := <-runErr; err != nil {
-		return err
-	}
-	if err := <-feedErr; err != nil {
+	switch err := <-runErr; {
+	case err == nil:
+		if err := <-feedErr; err != nil {
+			return err
+		}
+	case errors.Is(err, context.Canceled):
+		// Interrupted: the feed goroutine may be blocked sending into
+		// obsCh, so don't wait on it. The runner has quiesced, so the
+		// substrate is safe to snapshot; then fall through to the normal
+		// flush/dump path.
+		logMain.Warn("interrupted, flushing output and dumps")
+		if *ckptPath != "" {
+			if cerr := sub.SnapshotToFile(*ckptPath); cerr != nil {
+				logMain.Error("final checkpoint failed", "error", cerr)
+			} else {
+				logMain.Info("wrote final checkpoint", "path", *ckptPath, "epoch", sub.LastEpoch())
+			}
+		}
+	default:
 		return err
 	}
 	if err := flush(); err != nil {
@@ -207,21 +290,36 @@ func run() error {
 	if st.RawBytes > 0 {
 		ratio = float64(st.EventBytes) / float64(st.RawBytes)
 	}
-	fmt.Fprintf(os.Stderr,
-		"spire: %d epochs, %d readings (%d B raw) -> %d events (%d B, ratio %.4f); update %v, inference %v\n",
-		st.Epochs, st.Readings, st.RawBytes, st.Events, st.EventBytes,
-		ratio, st.UpdateTime, st.InferenceTime)
+	logMain.Info("run complete",
+		"epochs", st.Epochs, "readings", st.Readings, "raw_bytes", st.RawBytes,
+		"events", st.Events, "event_bytes", st.EventBytes, "ratio", ratio,
+		"update", st.UpdateTime, "inference", st.InferenceTime)
 	if ingestPolicy != core.IngestStrict {
 		ist := runner.IngestStats()
-		fmt.Fprintf(os.Stderr,
-			"spire: ingest (%s): %d accepted, %d stale dropped, %d merged, %d reordered\n",
-			ingestPolicy, ist.Accepted, ist.Stale, ist.Merged, ist.Reordered)
+		logging.Component("ingest").Info("ingest summary",
+			"policy", ingestPolicy.String(),
+			"accepted", ist.Accepted, "stale", ist.Stale,
+			"merged", ist.Merged, "reordered", ist.Reordered)
 	}
 	if *telDump {
 		fmt.Fprintln(os.Stderr, "spire: final telemetry snapshot:")
 		if err := reg.WritePrometheus(os.Stderr); err != nil {
 			return err
 		}
+	}
+	if *traceDump != "" {
+		f, err := os.Create(*traceDump)
+		if err != nil {
+			return fmt.Errorf("trace dump: %w", err)
+		}
+		if err := rec.DumpJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace dump: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logMain.Info("wrote trace dump", "path", *traceDump)
 	}
 	return nil
 }

@@ -10,22 +10,33 @@
 //
 // -metrics-addr serves generation progress counters on GET /metrics in
 // Prometheus text format; -telemetry-dump prints a final snapshot to
-// stderr. Neither affects the generated stream.
+// stderr. -trace-epochs keeps a flight recorder of per-epoch generation
+// spans (readings, bytes, wall-clock), dumped as JSONL by -trace-dump,
+// on SIGQUIT, or via GET /debug/trace on the metrics listener. None of
+// these affect the generated stream. SIGINT/SIGTERM stop generation
+// early but still flush the stream writer and the dumps; the truncated
+// stream stays well-formed. -log-level sets the structured log level,
+// optionally per component.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"spire/internal/httpapi"
 	"spire/internal/model"
 	"spire/internal/sim"
 	"spire/internal/stream"
 	"spire/internal/telemetry"
+	"spire/internal/trace"
 )
 
 func main() {
@@ -54,8 +65,18 @@ func run() error {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address while generating")
 		telDump     = flag.Bool("telemetry-dump", false, "print a final metrics snapshot to stderr")
+
+		traceEpochs = flag.Int("trace-epochs", 0, "flight-recorder capacity in epochs (0 = default 256 when tracing is otherwise enabled)")
+		traceTags   = flag.String("trace-tags", "", "accepted for symmetry with cmd/spire; the generator makes no per-tag decisions, so only epoch spans are recorded")
+		traceDump   = flag.String("trace-dump", "", "write the flight recorder as JSONL to this file at exit")
+		logSpec     = flag.String("log-level", "", "log level (debug|info|warn|error), optionally per component: 'warn,metrics=debug'")
 	)
 	flag.Parse()
+	logging, err := trace.NewLogging(os.Stderr, *logSpec)
+	if err != nil {
+		return err
+	}
+	logMain := logging.Component("spiresim")
 
 	cfg.Seed = *seed
 	cfg.Duration = model.Epoch(*dur)
@@ -83,15 +104,47 @@ func run() error {
 		readingsC = reg.Counter("spiresim_readings_total", "Raw tag readings written.")
 		bytesC = reg.Counter("spiresim_bytes_total", "Raw stream bytes written.")
 	}
+
+	// The generator makes no per-tag inference decisions, so its recorder
+	// carries epoch spans only: per-epoch readings, bytes, and wall-clock.
+	var rec *trace.Recorder
+	if *traceEpochs > 0 || *traceTags != "" || *traceDump != "" {
+		if _, _, err := trace.ParseTags(*traceTags); err != nil {
+			return err
+		}
+		rec = trace.New(trace.Config{Epochs: *traceEpochs})
+	}
+
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "spiresim: serving /metrics on http://%s/metrics\n", ln.Addr())
+		h := httpapi.New(nil, nil).EnableMetrics(reg)
+		if rec != nil {
+			h.EnableTrace(rec)
+		}
+		logMain.Info("serving metrics", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
 		go func() {
-			if err := http.Serve(ln, httpapi.New(nil, nil).EnableMetrics(reg)); err != nil {
-				fmt.Fprintln(os.Stderr, "spiresim: metrics server:", err)
+			if err := http.Serve(ln, h); err != nil {
+				logMain.Error("metrics server failed", "error", err)
+			}
+		}()
+	}
+
+	// SIGINT/SIGTERM stop generation at the next epoch boundary; the
+	// writer and dumps still flush below, so a truncated stream stays
+	// well-formed. SIGQUIT dumps the flight recorder and continues.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	if rec != nil {
+		sigq := make(chan os.Signal, 1)
+		signal.Notify(sigq, syscall.SIGQUIT)
+		defer signal.Stop(sigq)
+		go func() {
+			for range sigq {
+				fmt.Fprintln(os.Stderr, "spiresim: SIGQUIT, dumping flight recorder:")
+				_ = rec.DumpJSONL(os.Stderr)
 			}
 		}()
 	}
@@ -107,7 +160,17 @@ func run() error {
 	}
 	w := stream.NewWriter(dst)
 	var lastReadings, lastBytes int64
+	interrupted := false
 	for !s.Done() {
+		if ctx.Err() != nil {
+			interrupted = true
+			logMain.Warn("interrupted, flushing stream and dumps", "epoch", s.Now())
+			break
+		}
+		var mark time.Time
+		if rec != nil {
+			mark = time.Now()
+		}
 		o, err := s.Step()
 		if err != nil {
 			return err
@@ -119,6 +182,16 @@ func run() error {
 			epochsC.Inc()
 			readingsC.Add(w.Count() - lastReadings)
 			bytesC.Add(w.Bytes() - lastBytes)
+		}
+		if rec != nil {
+			rec.EndEpoch(trace.Span{
+				Epoch:    o.Time,
+				Readings: w.Count() - lastReadings,
+				Bytes:    w.Bytes() - lastBytes,
+				UpdateNS: time.Since(mark).Nanoseconds(),
+			})
+		}
+		if reg != nil || rec != nil {
 			lastReadings, lastBytes = w.Count(), w.Bytes()
 		}
 	}
@@ -131,9 +204,25 @@ func run() error {
 			return err
 		}
 	}
+	if *traceDump != "" {
+		f, err := os.Create(*traceDump)
+		if err != nil {
+			return fmt.Errorf("trace dump: %w", err)
+		}
+		if err := rec.DumpJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace dump: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logMain.Info("wrote trace dump", "path", *traceDump)
+	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "spiresim: %d epochs, %d readings, %d bytes, %d thefts, peak population %d\n",
-			s.Now(), w.Count(), w.Bytes(), len(s.Thefts()), s.SteadyStateCount())
+		logMain.Info("generation complete",
+			"epochs", s.Now(), "readings", w.Count(), "bytes", w.Bytes(),
+			"thefts", len(s.Thefts()), "peak_population", s.SteadyStateCount(),
+			"interrupted", interrupted)
 	}
 	return nil
 }

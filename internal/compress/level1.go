@@ -4,6 +4,7 @@ import (
 	"spire/internal/event"
 	"spire/internal/inference"
 	"spire/internal/model"
+	"spire/internal/trace"
 )
 
 // Level1 is the range compressor (§V-B): it compares each object's newly
@@ -13,6 +14,7 @@ import (
 type Level1 struct {
 	levelOf LevelFunc
 	states  map[model.Tag]*objState
+	rec     *trace.Recorder
 }
 
 // NewLevel1 creates a range compressor.

@@ -4,6 +4,7 @@ import (
 	"spire/internal/event"
 	"spire/internal/inference"
 	"spire/internal/model"
+	"spire/internal/trace"
 )
 
 // Level2 is the containment-based location compressor (§V-C). Containment
@@ -16,6 +17,7 @@ import (
 type Level2 struct {
 	levelOf LevelFunc
 	states  map[model.Tag]*objState
+	rec     *trace.Recorder
 }
 
 // NewLevel2 creates a containment-based compressor.
@@ -68,6 +70,16 @@ func (c *Level2) Compress(res *inference.Result) []event.Event {
 				st.missing = false
 			} else {
 				st.missing = true
+			}
+			if c.rec != nil && c.rec.Traces(obj) {
+				rloc := loc
+				if !loc.Known() {
+					rloc = st.lastKnown
+				}
+				c.rec.Record(trace.Record{
+					Epoch: now, Tag: obj, Mech: trace.MechSuppressed,
+					Loc: rloc, Other: st.parent,
+				})
 			}
 			continue
 		}

@@ -1,0 +1,14 @@
+package compress
+
+import "spire/internal/trace"
+
+// SetTracer attaches a decision-provenance recorder. Level 1 emits every
+// state change explicitly, so it has no suppression decisions to record;
+// the hook exists so both levels satisfy the substrate's compressor
+// surface uniformly.
+func (c *Level1) SetTracer(rec *trace.Recorder) { c.rec = rec }
+
+// SetTracer attaches a decision-provenance recorder; level 2 records a
+// suppression decision for each traced object whose location update is
+// withheld because a container reports for it (§V-C).
+func (c *Level2) SetTracer(rec *trace.Recorder) { c.rec = rec }

@@ -20,6 +20,7 @@ import (
 	"spire/internal/inference"
 	"spire/internal/model"
 	"spire/internal/stream"
+	"spire/internal/trace"
 )
 
 // CompressionLevel selects the output compressor.
@@ -112,6 +113,10 @@ type Substrate struct {
 	// influences processing.
 	tel *Instruments
 
+	// rec holds the optional decision-provenance recorder (nil when
+	// disabled); see trace.go. Like tel, it is observation-only.
+	rec *trace.Recorder
+
 	// raw is the pooled KeepRawResult copy, reset and refilled each epoch
 	// instead of allocating fresh maps; it shares the Result lifetime
 	// contract of ProcessEpoch.
@@ -135,6 +140,7 @@ type compressor interface {
 	Retire(model.Tag, model.Epoch) []event.Event
 	Close(model.Epoch) []event.Event
 	Opens() (locations, containments int)
+	SetTracer(*trace.Recorder)
 }
 
 // New builds a substrate.
@@ -229,14 +235,21 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 	s.stats.Readings += rawReadings
 	s.stats.RawBytes += rawReadings * stream.ReadingSize
 
-	// Telemetry marks. All recording below is gated on tel != nil so the
-	// uninstrumented path takes no extra clock reads, and every recording
-	// call is observation-only — the transparency tests pin that enabling
-	// telemetry changes no output byte.
-	tel := s.tel
+	// Telemetry and trace marks. Clock reads run only when at least one
+	// observer is attached (timed), and every recording call is
+	// observation-only — the transparency tests pin that enabling
+	// telemetry or tracing changes no output byte.
+	tel, rec := s.tel, s.rec
+	timed := tel != nil || rec != nil
 	var mark time.Time
-	if tel != nil {
+	if timed {
 		mark = time.Now()
+	}
+	var span trace.Span
+	if rec != nil {
+		rec.BeginEpoch(now)
+		span.Epoch = now
+		span.Readings = rawReadings
 	}
 
 	s.dedup.Clean(o)
@@ -251,6 +264,12 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 						continue // residual reading of a departed object
 					}
 					delete(s.tombstones, g) // wrongly retired: resurrect
+					if rec != nil {
+						rec.Record(trace.Record{
+							Epoch: now, Tag: g, Mech: trace.MechResurrected,
+							Loc: model.LocationNone, Reader: r,
+						})
+					}
 				}
 				kept = append(kept, g)
 			}
@@ -258,9 +277,13 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		}
 	}
 
-	if tel != nil {
+	if timed {
 		next := time.Now()
-		tel.StageDedup.Observe(next.Sub(mark).Seconds())
+		d := next.Sub(mark)
+		if tel != nil {
+			tel.StageDedup.Observe(d.Seconds())
+		}
+		span.DedupNS = d.Nanoseconds()
 		mark = next
 	}
 
@@ -280,9 +303,13 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		}
 	}
 	s.stats.UpdateTime += time.Since(start)
-	if tel != nil {
+	if timed {
 		next := time.Now()
-		tel.StageUpdate.Observe(next.Sub(mark).Seconds())
+		d := next.Sub(mark)
+		if tel != nil {
+			tel.StageUpdate.Observe(d.Seconds())
+		}
+		span.UpdateNS = d.Nanoseconds()
 		mark = next
 	}
 
@@ -305,16 +332,24 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		maps.Copy(raw.Locations, res.Locations)
 		maps.Copy(raw.Parents, res.Parents)
 	}
-	if tel != nil {
+	if timed {
 		next := time.Now()
-		tel.StageInfer.Observe(next.Sub(mark).Seconds())
+		d := next.Sub(mark)
+		if tel != nil {
+			tel.StageInfer.Observe(d.Seconds())
+		}
+		span.InferNS = d.Nanoseconds()
 		mark = next
 	}
-	inference.ResolveConflicts(res, levelOf)
+	inference.ResolveConflictsTraced(res, levelOf, rec)
 	s.stats.InferenceTime += time.Since(start)
-	if tel != nil {
+	if timed {
 		next := time.Now()
-		tel.StageConflict.Observe(next.Sub(mark).Seconds())
+		d := next.Sub(mark)
+		if tel != nil {
+			tel.StageConflict.Observe(d.Seconds())
+		}
+		span.ConflictNS = d.Nanoseconds()
 		mark = next
 	}
 
@@ -327,6 +362,15 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 	// first.
 	retired := s.exitSet(res)
 	for _, g := range retired {
+		if rec != nil && rec.Traces(g) {
+			loc, ok := res.Locations[g]
+			if !ok {
+				loc = model.LocationNone
+			}
+			rec.Record(trace.Record{
+				Epoch: now, Tag: g, Mech: trace.MechRetired, Loc: loc,
+			})
+		}
 		out.Events = append(out.Events, s.comp.Retire(g, now)...)
 		s.graph.RemoveNode(g)
 		s.dedup.Forget(g)
@@ -337,14 +381,27 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 	evBytes := event.StreamSize(out.Events)
 	s.stats.Events += int64(len(out.Events))
 	s.stats.EventBytes += evBytes
+	if timed {
+		d := time.Since(mark)
+		if tel != nil {
+			tel.StageCompress.Observe(d.Seconds())
+		}
+		span.CompressNS = d.Nanoseconds()
+	}
 	if tel != nil {
-		tel.StageCompress.Observe(time.Since(mark).Seconds())
 		tel.Epochs.Inc()
 		tel.Readings.Add(rawReadings)
 		tel.Retired.Add(int64(len(retired)))
 		tel.Graph.Record(s.graph)
 		openLocs, openConts := s.comp.Opens()
 		tel.Comp.Record(openLocs, openConts, len(out.Events), evBytes)
+	}
+	if rec != nil {
+		span.Partial = res.Partial
+		span.Events = int64(len(out.Events))
+		span.Bytes = evBytes
+		span.Retired = int64(len(retired))
+		rec.EndEpoch(span)
 	}
 	return out, nil
 }

@@ -99,26 +99,34 @@ func (r *Runner) Run(ctx context.Context, in <-chan *model.Observation, out chan
 }
 
 // offerGate and drainGate run the ingest gate, recording the stage latency
-// when the substrate is instrumented.
+// when the substrate is instrumented or traced.
 func (r *Runner) offerGate(o *model.Observation) []*model.Observation {
-	tel := r.sub.tel
-	if tel == nil {
+	tel, rec := r.sub.tel, r.sub.rec
+	if tel == nil && rec == nil {
 		return r.gate.Offer(o)
 	}
 	start := time.Now()
 	obs := r.gate.Offer(o)
-	tel.StageIngest.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	if tel != nil {
+		tel.StageIngest.Observe(d.Seconds())
+	}
+	rec.ObserveIngest(d.Nanoseconds())
 	return obs
 }
 
 func (r *Runner) drainGate() []*model.Observation {
-	tel := r.sub.tel
-	if tel == nil {
+	tel, rec := r.sub.tel, r.sub.rec
+	if tel == nil && rec == nil {
 		return r.gate.Drain()
 	}
 	start := time.Now()
 	obs := r.gate.Drain()
-	tel.StageIngest.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	if tel != nil {
+		tel.StageIngest.Observe(d.Seconds())
+	}
+	rec.ObserveIngest(d.Nanoseconds())
 	return obs
 }
 

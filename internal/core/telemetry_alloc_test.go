@@ -8,6 +8,7 @@ import (
 	"spire/internal/model"
 	"spire/internal/sim"
 	"spire/internal/telemetry"
+	"spire/internal/trace"
 )
 
 // The telemetry overhead contract: recording is atomic stores and array
@@ -57,12 +58,19 @@ func warmInstrumented(tb testing.TB) (*Substrate, *model.Observation) {
 }
 
 // hotEpoch replays one epoch of the hot loop against the warm substrate,
-// with the same stage sequence and the same tel != nil gating as
-// ProcessEpoch. A nil tel is the uninstrumented baseline.
-func hotEpoch(tb testing.TB, sub *Substrate, o *model.Observation, now model.Epoch, tel *Instruments) {
+// with the same stage sequence and the same tel/rec gating as
+// ProcessEpoch. Nil tel and rec is the unobserved baseline.
+func hotEpoch(tb testing.TB, sub *Substrate, o *model.Observation, now model.Epoch, tel *Instruments, rec *trace.Recorder) {
+	timed := tel != nil || rec != nil
 	var mark time.Time
-	if tel != nil {
+	if timed {
 		mark = time.Now()
+	}
+	var span trace.Span
+	if rec != nil {
+		rec.BeginEpoch(now)
+		span.Epoch = now
+		span.Readings = int64(o.Total())
 	}
 	for _, id := range sub.order {
 		tags, ok := o.ByReader[id]
@@ -73,25 +81,42 @@ func hotEpoch(tb testing.TB, sub *Substrate, o *model.Observation, now model.Epo
 			tb.Fatal(err)
 		}
 	}
-	if tel != nil {
+	if timed {
 		next := time.Now()
-		tel.StageUpdate.Observe(next.Sub(mark).Seconds())
+		d := next.Sub(mark)
+		if tel != nil {
+			tel.StageUpdate.Observe(d.Seconds())
+		}
+		span.UpdateNS = d.Nanoseconds()
 		mark = next
 	}
 	res := sub.inf.Infer(sub.graph, now, inference.Complete)
-	if tel != nil {
+	if timed {
 		next := time.Now()
-		tel.StageInfer.Observe(next.Sub(mark).Seconds())
+		d := next.Sub(mark)
+		if tel != nil {
+			tel.StageInfer.Observe(d.Seconds())
+		}
+		span.InferNS = d.Nanoseconds()
 		mark = next
 	}
-	inference.ResolveConflicts(res, levelOf)
+	inference.ResolveConflictsTraced(res, levelOf, rec)
+	if timed {
+		d := time.Since(mark)
+		if tel != nil {
+			tel.StageConflict.Observe(d.Seconds())
+		}
+		span.ConflictNS = d.Nanoseconds()
+	}
 	if tel != nil {
-		tel.StageConflict.Observe(time.Since(mark).Seconds())
 		tel.Epochs.Inc()
 		tel.Readings.Add(int64(o.Total()))
 		tel.Graph.Record(sub.graph)
 		openLocs, openConts := sub.comp.Opens()
 		tel.Comp.Record(openLocs, openConts, 0, 0)
+	}
+	if rec != nil {
+		rec.EndEpoch(span)
 	}
 }
 
@@ -125,15 +150,35 @@ func TestInstrumentedHotPathAllocs(t *testing.T) {
 	// whatever the stages themselves allocate, telemetry adds nothing.
 	baseline := testing.AllocsPerRun(200, func() {
 		now++
-		hotEpoch(t, sub, o, now, nil)
+		hotEpoch(t, sub, o, now, nil, nil)
 	})
 	instrumented := testing.AllocsPerRun(200, func() {
 		now++
-		hotEpoch(t, sub, o, now, tel)
+		hotEpoch(t, sub, o, now, tel, nil)
 	})
 	if instrumented != baseline {
 		t.Errorf("instrumented hot loop allocates %.1f allocs/op vs %.1f uninstrumented; telemetry overhead must be 0",
 			instrumented, baseline)
+	}
+
+	// The same bar holds for tracing. A recorder with no traced tags still
+	// rides the hot loop (flight spans, mechanism counters) but keeps all
+	// per-tag storage off; its records land in preallocated rings, so the
+	// untraced-tags hot path must match the baseline exactly. The fully
+	// disabled mode (nil recorder) is gated out before any call and cannot
+	// do better than this.
+	recOff := trace.New(trace.Config{})
+	sub.graph.SetTracer(recOff)
+	sub.inf.SetTracer(recOff)
+	tracedOff := testing.AllocsPerRun(200, func() {
+		now++
+		hotEpoch(t, sub, o, now, nil, recOff)
+	})
+	sub.graph.SetTracer(nil)
+	sub.inf.SetTracer(nil)
+	if tracedOff != baseline {
+		t.Errorf("hot loop with a no-tags recorder allocates %.1f allocs/op vs %.1f baseline; tracing overhead must be 0",
+			tracedOff, baseline)
 	}
 }
 
@@ -147,7 +192,7 @@ func BenchmarkInstrumentedEpochLoop(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now++
-		hotEpoch(b, sub, o, now, sub.tel)
+		hotEpoch(b, sub, o, now, sub.tel, nil)
 	}
 }
 
@@ -159,6 +204,6 @@ func BenchmarkEpochLoopBaseline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now++
-		hotEpoch(b, sub, o, now, nil)
+		hotEpoch(b, sub, o, now, nil, nil)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"spire/internal/model"
+	"spire/internal/trace"
 )
 
 // Config parameterizes the graph model.
@@ -205,6 +206,10 @@ type Graph struct {
 	// allocation-free. Only edges fully detached from both endpoints enter
 	// the list, so no live pointer can alias a recycled edge.
 	freeEdges []*Edge
+
+	// rec is the optional decision-provenance recorder (nil when
+	// untraced); see trace.go. Recording never mutates graph state.
+	rec *trace.Recorder
 }
 
 // New creates an empty graph.
@@ -293,6 +298,12 @@ func (g *Graph) AddEdge(parent, child *Node, now model.Epoch) *Edge {
 	parent.children[child.Tag] = e
 	child.parents[parent.Tag] = e
 	g.edges++
+	if g.rec != nil {
+		g.rec.Record(trace.Record{
+			Epoch: now, Tag: child.Tag, Mech: trace.MechEdgeCreated,
+			Loc: model.LocationNone, Other: parent.Tag,
+		})
+	}
 	return e
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"spire/internal/epc"
 	"spire/internal/model"
+	"spire/internal/trace"
 )
 
 // Update applies one reader's reading set for the current epoch — the
@@ -57,6 +58,12 @@ func (g *Graph) Update(reader *model.Reader, tags []model.Tag, now model.Epoch) 
 		n.SeenAt = now
 		g.colored[lvl][c] = append(g.colored[lvl][c], n)
 		batch[lvl] = append(batch[lvl], n)
+		if g.rec != nil && g.rec.Traces(tag) {
+			g.rec.Record(trace.Record{
+				Epoch: now, Tag: tag, Mech: trace.MechDirectRead,
+				Loc: c, Reader: reader.ID,
+			})
+		}
 	}
 
 	// Special readers scan containers of level reader.ConfirmLevel one at
@@ -84,7 +91,7 @@ func (g *Graph) Update(reader *model.Reader, tags []model.Tag, now model.Epoch) 
 				g.createEdges(v, c, now)
 			}
 			// Steps 3 and 4 share the walk over v's incident edges.
-			g.visitEdges(v, c, now, confirmTop, confirmParent)
+			g.visitEdges(v, c, now, reader.ID, confirmTop, confirmParent)
 		}
 	}
 	return nil
@@ -134,7 +141,7 @@ func (g *Graph) createEdges(v *Node, c model.LocationID, now model.Epoch) {
 // each endpoint; the bookkeeping below is idempotent, and a second visit
 // that discovers the partner is in fact colored revises the pessimistic
 // verdict of the first.
-func (g *Graph) visitEdges(v *Node, c model.LocationID, now model.Epoch, confirmTop model.Tag, confirmParent map[model.Tag]model.Tag) {
+func (g *Graph) visitEdges(v *Node, c model.LocationID, now model.Epoch, reader model.ReaderID, confirmTop model.Tag, confirmParent map[model.Tag]model.Tag) {
 	visit := func(e *Edge) {
 		other := e.Parent
 		if other == v {
@@ -146,6 +153,7 @@ func (g *Graph) visitEdges(v *Node, c model.LocationID, now model.Epoch, confirm
 		// epoch can carry a stale color relationship (fresh edges are
 		// created same-colored by construction).
 		if e.CreatedAt < now && otherColor.Known() && otherColor != c {
+			g.recordDrop(e, now, reader, trace.DropColorMismatch)
 			g.RemoveEdge(e)
 			return
 		}
@@ -154,10 +162,12 @@ func (g *Graph) visitEdges(v *Node, c model.LocationID, now model.Epoch, confirm
 		// container, or it has a confirmed parent other than e.Parent.
 		if confirmTop != model.NoTag {
 			if e.Child.Tag == confirmTop {
+				g.recordDrop(e, now, reader, trace.DropConfirmation)
 				g.RemoveEdge(e)
 				return
 			}
 			if p, ok := confirmParent[e.Child.Tag]; ok && p != e.Parent.Tag {
+				g.recordDrop(e, now, reader, trace.DropConfirmation)
 				g.RemoveEdge(e)
 				return
 			}
@@ -172,6 +182,12 @@ func (g *Graph) visitEdges(v *Node, c model.LocationID, now model.Epoch, confirm
 			e.History.SetRecent(true)
 			if confirmParent != nil {
 				if p, ok := confirmParent[e.Child.Tag]; ok && p == e.Parent.Tag {
+					if g.rec != nil && e.Child.ConfirmedEdge != e {
+						g.rec.Record(trace.Record{
+							Epoch: now, Tag: e.Child.Tag, Mech: trace.MechConfirmed,
+							Loc: c, Other: e.Parent.Tag, Reader: reader,
+						})
+					}
 					e.Child.ConfirmedEdge = e
 					e.Child.ConfirmedAt = now
 					e.Child.Conflicts = 0
@@ -214,4 +230,15 @@ func (g *Graph) visitEdges(v *Node, c model.LocationID, now model.Epoch, confirm
 	for _, e := range v.children {
 		visit(e)
 	}
+}
+
+// recordDrop records a step-3 edge removal when tracing is enabled.
+func (g *Graph) recordDrop(e *Edge, now model.Epoch, reader model.ReaderID, reason int32) {
+	if g.rec == nil {
+		return
+	}
+	g.rec.Record(trace.Record{
+		Epoch: now, Tag: e.Child.Tag, Mech: trace.MechEdgeDropped,
+		Loc: model.LocationNone, Other: e.Parent.Tag, Reader: reader, Aux: reason,
+	})
 }

@@ -1,0 +1,39 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"spire/internal/model"
+	"spire/internal/trace"
+)
+
+// EnableTrace registers the decision-provenance routes over rec:
+//
+//	/v1/explain/{tag}   the causal chain behind the tag's current verdicts
+//	/debug/trace        the flight recorder + traced-tag records as JSONL
+//
+// The recorder is internally synchronized, so unlike the store routes
+// these are safe to serve while the pipeline records.
+func (h *Handler) EnableTrace(rec *trace.Recorder) *Handler {
+	h.mux.HandleFunc("/v1/explain/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/explain/")
+		tagN, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil || tagN == 0 {
+			http.Error(w, "bad object tag", http.StatusBadRequest)
+			return
+		}
+		ex := rec.Explain(model.Tag(tagN))
+		if ex == nil {
+			http.Error(w, "no provenance recorded for object", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ex)
+	})
+	h.mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = rec.DumpJSONL(w)
+	})
+	return h
+}

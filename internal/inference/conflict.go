@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"spire/internal/model"
+	"spire/internal/trace"
 )
 
 // ResolveConflicts post-processes an inference result so the reported
@@ -31,6 +32,14 @@ import (
 // it is supplied by the caller so this package stays decoupled from the
 // tag codec.
 func ResolveConflicts(res *Result, levelOf func(model.Tag) model.Level) {
+	ResolveConflictsTraced(res, levelOf, nil)
+}
+
+// ResolveConflictsTraced is ResolveConflicts with decision provenance:
+// every Table I rule firing (and the children's majority poll preceding
+// Rules II-III) is recorded against the affected tag. A nil recorder
+// reduces to ResolveConflicts with no extra work.
+func ResolveConflictsTraced(res *Result, levelOf func(model.Tag) model.Level, rec *trace.Recorder) {
 	// Group chosen children per parent.
 	children := make(map[model.Tag][]model.Tag)
 	for child, parent := range res.Parents {
@@ -100,6 +109,12 @@ func ResolveConflicts(res *Result, levelOf func(model.Tag) model.Level) {
 				}
 			}
 			if bestN*2 > total {
+				if rec != nil && ploc != bestLoc && rec.Traces(p) {
+					rec.Record(trace.Record{
+						Epoch: res.Now, Tag: p, Mech: trace.MechMajorityPoll,
+						Loc: bestLoc, Aux: int32(bestN),
+					})
+				}
 				ploc = bestLoc
 				res.Locations[p] = ploc
 			}
@@ -114,18 +129,40 @@ func ResolveConflicts(res *Result, levelOf func(model.Tag) model.Level) {
 				// Rule II: an observed child that still disagrees ends its
 				// containment — we report that the child has no container.
 				res.Parents[c] = model.NoTag
+				if rec != nil && rec.Traces(c) {
+					rec.Record(trace.Record{
+						Epoch: res.Now, Tag: c, Mech: trace.MechRuleII,
+						Loc: cloc, Other: p,
+					})
+				}
 			case res.Observed[c] && res.Observed[p]:
 				// Both observed in different locations: the graph update
 				// would have dropped the edge, so this cannot arise from a
 				// single consistent epoch; keep the observations and end
 				// the containment defensively.
 				res.Parents[c] = model.NoTag
+				if rec != nil && rec.Traces(c) {
+					rec.Record(trace.Record{
+						Epoch: res.Now, Tag: c, Mech: trace.MechRuleII,
+						Loc: cloc, Other: p, Aux: 1,
+					})
+				}
 			default:
 				// Rules I and III: containment wins, the child's inferred
 				// location is overridden by the parent's.
 				res.Locations[c] = ploc
 				if settled[p] {
 					settled[c] = true
+				}
+				if rec != nil && rec.Traces(c) {
+					mech := trace.MechRuleIII
+					if res.Observed[p] {
+						mech = trace.MechRuleI
+					}
+					rec.Record(trace.Record{
+						Epoch: res.Now, Tag: c, Mech: mech,
+						Loc: ploc, Other: p,
+					})
 				}
 			}
 		}

@@ -9,6 +9,7 @@ import (
 
 	"spire/internal/graph"
 	"spire/internal/model"
+	"spire/internal/trace"
 )
 
 // Result is the outcome of one inference pass: the most likely location
@@ -82,6 +83,11 @@ type Inferencer struct {
 	cfg     Config
 	weights []float64 // Zipf table, sized to the graph's history length
 
+	// rec is the optional decision-provenance recorder (nil when
+	// untraced); now mirrors the epoch of the running pass for records.
+	rec *trace.Recorder
+	now model.Epoch
+
 	// scratch reused across epochs
 	res      Result // pooled result; see Infer's contract
 	stamp    uint64 // stamp of the running pass, matched against Edge.InferStamp
@@ -93,6 +99,12 @@ type Inferencer struct {
 	pruned   []*graph.Edge
 	props    []propagation
 }
+
+// SetTracer attaches a decision-provenance recorder: edge inference
+// records its Eq. 1-2 container choice (with the normalized probability
+// and colocation evidence), node inference its Eq. 3-4 location choice.
+// A nil recorder disables recording. Recording is observation-only.
+func (inf *Inferencer) SetTracer(rec *trace.Recorder) { inf.rec = rec }
 
 // passStamps issues a process-wide unique stamp per inference pass, so
 // the per-edge scratch slots of concurrently running Inferencers (each on
@@ -147,6 +159,7 @@ func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result
 	res := &inf.res
 	res.reset(now, mode == Partial)
 	inf.stamp = passStamps.Add(1)
+	inf.now = now
 	clear(inf.dist)
 
 	// Layer d=0: the colored nodes. Their location verdict is their
@@ -223,6 +236,9 @@ func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result
 // when none).
 func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 	if n.NumParents() == 0 {
+		if inf.rec != nil && inf.rec.Traces(n.Tag) {
+			inf.recordEdgeChoice(n.Tag, model.NoTag, 0, 0)
+		}
 		return model.NoTag
 	}
 	beta := inf.cfg.Beta
@@ -252,17 +268,38 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 		}
 	})
 	for _, e := range inf.pruned {
+		if inf.rec != nil {
+			inf.rec.Record(trace.Record{
+				Epoch: inf.now, Tag: e.Child.Tag, Mech: trace.MechEdgePruned,
+				Loc: model.LocationNone, Other: e.Parent.Tag,
+			})
+		}
 		g.RemoveEdge(e)
 	}
 	if best == nil || z == 0 {
 		// No surviving edge carries any belief: report "no container"
 		// rather than an arbitrary pick.
+		if inf.rec != nil && inf.rec.Traces(n.Tag) {
+			inf.recordEdgeChoice(n.Tag, model.NoTag, 0, 0)
+		}
 		return model.NoTag
 	}
 	n.VisitParents(func(e *graph.Edge) {
 		e.InferProb /= z
 	})
+	if inf.rec != nil && inf.rec.Traces(n.Tag) {
+		inf.recordEdgeChoice(n.Tag, best.Parent.Tag, bestConf/z, int32(best.History.Ones()))
+	}
 	return best.Parent.Tag
+}
+
+// recordEdgeChoice records the Eq. 1-2 container verdict for a traced
+// tag; parent NoTag is the positive "no container" verdict.
+func (inf *Inferencer) recordEdgeChoice(tag, parent model.Tag, prob float64, coloc int32) {
+	inf.rec.Record(trace.Record{
+		Epoch: inf.now, Tag: tag, Mech: trace.MechEdgeInference,
+		Loc: model.LocationNone, Other: parent, Prob: prob, Aux: coloc,
+	})
 }
 
 // nodeInference applies Eqs. 3-4 to an uncolored node and returns the most
@@ -317,6 +354,12 @@ func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result
 		if p > bestP || (p == bestP && (best == model.LocationUnknown || loc < best)) {
 			best, bestP = loc, p
 		}
+	}
+	if inf.rec != nil && inf.rec.Traces(n.Tag) {
+		inf.rec.Record(trace.Record{
+			Epoch: now, Tag: n.Tag, Mech: trace.MechNodeInference,
+			Loc: best, Prob: bestP, Aux: int32(len(inf.props)),
+		})
 	}
 	return best
 }

@@ -281,15 +281,48 @@ spire_stage_seconds_count{stage="infer"} 3
 	}
 }
 
+// TestLabelEscaping pins the Prometheus 0.0.4 label-value escapes
+// (backslash, double quote, newline) against hostile values: each value
+// must round-trip into exactly the escaped form, and the exposition must
+// stay one sample per line — an unescaped newline would split a sample
+// and corrupt every series after it.
 func TestLabelEscaping(t *testing.T) {
-	r := NewRegistry()
-	r.Counter("spire_esc_total", "", "path", "a\"b\\c\nd").Inc()
-	var sb strings.Builder
-	if err := r.WritePrometheus(&sb); err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name, value, want string
+	}{
+		{"mixed", "a\"b\\c\nd", `a\"b\\c\nd`},
+		{"quote-only", `say "hi"`, `say \"hi\"`},
+		{"backslash-run", `C:\tmp\x`, `C:\\tmp\\x`},
+		{"newline-bomb", "line1\nline2\nline3", `line1\nline2\nline3`},
+		{"trailing-backslash", `dir\`, `dir\\`},
+		{"escape-lookalike", `already\nescaped`, `already\\nescaped`},
+		{"injection", "v\"} 0\nevil_total 1", `v\"} 0\nevil_total 1`},
 	}
-	if !strings.Contains(sb.String(), `path="a\"b\\c\nd"`) {
-		t.Errorf("label value not escaped: %s", sb.String())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("spire_esc_total", "", "path", tc.value).Inc()
+			r.Histogram("spire_esc_seconds", "", []float64{1}, "path", tc.value).Observe(0.5)
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, `path="`+tc.want+`"`) {
+				t.Errorf("label value %q not escaped to %q:\n%s", tc.value, tc.want, out)
+			}
+			if !strings.Contains(out, `path="`+tc.want+`",le="1"`) {
+				t.Errorf("histogram lost escaping next to the le label:\n%s", out)
+			}
+			for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+				if line == "" {
+					t.Errorf("blank line in exposition (unescaped newline?):\n%s", out)
+				}
+				if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "spire_esc_") {
+					t.Errorf("sample line injected by hostile label: %q", line)
+				}
+			}
+		})
 	}
 }
 

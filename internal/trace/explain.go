@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"spire/internal/model"
+)
+
+// Step is one link of an explanation's causal chain: a recorded decision,
+// named by mechanism and paper citation.
+type Step struct {
+	Tag         model.Tag      `json:"tag"`
+	Epoch       model.Epoch    `json:"epoch"`
+	Mechanism   string         `json:"mechanism"`
+	Citation    string         `json:"citation"`
+	Location    string         `json:"location,omitempty"`
+	Container   model.Tag      `json:"container,omitempty"`
+	Reader      model.ReaderID `json:"reader,omitempty"`
+	Probability float64        `json:"probability,omitempty"`
+	Support     int32          `json:"support,omitempty"`
+}
+
+// Explanation is the causal chain behind a tag's current location and
+// containment, assembled from its retained provenance records. The chain
+// starts with the tag's own decisive records and follows containment
+// upward when the location was inherited (Rule I/III override or level-2
+// suppression).
+type Explanation struct {
+	Tag       model.Tag   `json:"tag"`
+	AsOf      model.Epoch `json:"as_of"`
+	Location  string      `json:"location,omitempty"`
+	Container model.Tag   `json:"container,omitempty"`
+	Chain     []Step      `json:"chain"`
+}
+
+// hasLocation reports whether Record.Loc is meaningful for mechanism m;
+// the zero LocationID is a real location, so renderers must not show Loc
+// for mechanisms that never set it.
+func hasLocation(m Mechanism) bool {
+	switch m {
+	case MechDirectRead, MechNodeInference, MechMajorityPoll, MechConfirmed,
+		MechRuleI, MechRuleII, MechRuleIII, MechSuppressed, MechRetired:
+		return true
+	}
+	return false
+}
+
+// locMech reports whether m decides a tag's reported location.
+func locMech(m Mechanism) bool {
+	switch m {
+	case MechDirectRead, MechNodeInference, MechMajorityPoll,
+		MechRuleI, MechRuleIII, MechSuppressed, MechRetired:
+		return true
+	}
+	return false
+}
+
+// contMech reports whether m decides a tag's reported containment.
+func contMech(m Mechanism) bool {
+	switch m {
+	case MechEdgeInference, MechConfirmed, MechRuleII:
+		return true
+	}
+	return false
+}
+
+// inheritsLocation reports whether m takes the location from the parent
+// tag in Record.Other, so the chain should continue there.
+func inheritsLocation(m Mechanism) bool {
+	return m == MechRuleI || m == MechRuleIII || m == MechSuppressed
+}
+
+func stepOf(r Record) Step {
+	s := Step{
+		Tag:         r.Tag,
+		Epoch:       r.Epoch,
+		Mechanism:   r.Mech.String(),
+		Citation:    r.Mech.Citation(),
+		Reader:      r.Reader,
+		Probability: r.Prob,
+		Support:     r.Aux,
+	}
+	if hasLocation(r.Mech) && r.Loc != model.LocationNone {
+		s.Location = r.Loc.String()
+	}
+	switch r.Mech {
+	case MechEdgeInference, MechConfirmed, MechEdgeCreated, MechEdgeDropped,
+		MechEdgePruned, MechRuleI, MechRuleIII, MechSuppressed, MechRuleII:
+		s.Container = r.Other
+	}
+	return s
+}
+
+// maxExplainDepth bounds the containment walk of Explain; the packaging
+// hierarchy is three levels deep, so 4 leaves headroom without letting a
+// record cycle run away.
+const maxExplainDepth = 4
+
+// Explain assembles the causal chain behind tag's current location and
+// containment. Returns nil when the recorder holds no records for the tag
+// (or on a nil receiver).
+func (rec *Recorder) Explain(g model.Tag) *Explanation {
+	if rec == nil {
+		return nil
+	}
+	recs := rec.TagRecords(g)
+	if len(recs) == 0 {
+		return nil
+	}
+	ex := &Explanation{Tag: g, AsOf: recs[len(recs)-1].Epoch}
+	seen := map[model.Tag]bool{}
+	rec.explainInto(ex, g, maxExplainDepth, seen)
+	return ex
+}
+
+// explainInto appends tag's decisive steps to ex.Chain and recurses into
+// the parent when the location was inherited.
+func (rec *Recorder) explainInto(ex *Explanation, g model.Tag, depth int, seen map[model.Tag]bool) {
+	if depth == 0 || seen[g] {
+		return
+	}
+	seen[g] = true
+	recs := rec.TagRecords(g)
+	var locRec, contRec *Record
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := &recs[i]
+		if locRec == nil && locMech(r.Mech) {
+			locRec = r
+		}
+		if contRec == nil && contMech(r.Mech) {
+			contRec = r
+		}
+		if locRec != nil && contRec != nil {
+			break
+		}
+	}
+	if locRec != nil {
+		ex.Chain = append(ex.Chain, stepOf(*locRec))
+		if ex.Location == "" && locRec.Loc != model.LocationNone {
+			ex.Location = locRec.Loc.String()
+		}
+	}
+	if contRec != nil {
+		ex.Chain = append(ex.Chain, stepOf(*contRec))
+		if g == ex.Tag {
+			switch contRec.Mech {
+			case MechRuleII:
+				ex.Container = model.NoTag
+			default:
+				ex.Container = contRec.Other
+			}
+		}
+	}
+	if locRec != nil && inheritsLocation(locRec.Mech) && locRec.Other != model.NoTag {
+		rec.explainInto(ex, locRec.Other, depth-1, seen)
+	}
+}

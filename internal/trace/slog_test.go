@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggingSpecs(t *testing.T) {
+	cases := []struct {
+		spec    string
+		def     slog.Level
+		lvls    map[string]slog.Level
+		wantErr bool
+	}{
+		{spec: "", def: slog.LevelInfo},
+		{spec: "debug", def: slog.LevelDebug},
+		{spec: "WARN", def: slog.LevelWarn},
+		{spec: "warn,metrics=debug", def: slog.LevelWarn,
+			lvls: map[string]slog.Level{"metrics": slog.LevelDebug}},
+		{spec: "spire=info, ingest=error", def: slog.LevelInfo,
+			lvls: map[string]slog.Level{"spire": slog.LevelInfo, "ingest": slog.LevelError}},
+		{spec: "verbose", wantErr: true},
+		{spec: "metrics=loud", wantErr: true},
+		{spec: "=debug", wantErr: true},
+	}
+	for _, tc := range cases {
+		l, err := NewLogging(&bytes.Buffer{}, tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("NewLogging(%q): want error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("NewLogging(%q): %v", tc.spec, err)
+			continue
+		}
+		if got := l.Level("unconfigured"); got != tc.def {
+			t.Errorf("NewLogging(%q) default level = %v, want %v", tc.spec, got, tc.def)
+		}
+		for comp, want := range tc.lvls {
+			if got := l.Level(comp); got != want {
+				t.Errorf("NewLogging(%q) level(%s) = %v, want %v", tc.spec, comp, got, want)
+			}
+		}
+	}
+}
+
+func TestComponentFilteringAndAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogging(&buf, "warn,noisy=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quiet := l.Component("quiet")
+	quiet.Info("suppressed")
+	if buf.Len() != 0 {
+		t.Errorf("info record leaked through a warn-level component: %s", buf.String())
+	}
+	quiet.Warn("visible", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "component=quiet") || !strings.Contains(out, "k=v") {
+		t.Errorf("warn record missing component attr or fields: %s", out)
+	}
+
+	buf.Reset()
+	noisy := l.Component("noisy")
+	noisy.Debug("detail")
+	if !strings.Contains(buf.String(), "component=noisy") {
+		t.Errorf("debug record lost on a debug-level component: %s", buf.String())
+	}
+
+	if l.Component("quiet") != quiet {
+		t.Error("component loggers must be cached")
+	}
+}
