@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json bench-check cover experiments experiments-full tools clean
+.PHONY: all build test race bench bench-infer bench-json bench-check cover experiments experiments-full tools clean
 
 all: build test
 
@@ -18,6 +18,11 @@ race:
 # already covers).
 bench:
 	go test -run '^$$' -bench=. -benchmem ./...
+
+# Component-sharded inference benchmarks: serial full sweep, 4-way worker
+# fan-out, and cached steady state, with allocation counts.
+bench-infer:
+	go test -run '^$$' -bench 'InferComponents' -benchmem ./internal/inference/
 
 # Quick-scale experiment tables plus a machine-readable snapshot, for
 # tracking headline metrics across revisions.

@@ -172,6 +172,14 @@ func headline(exps []benchExperiment) map[string]float64 {
 					h["table3_update_s_max"] = last.Values[0]
 					h["table3_inference_s_max"] = last.Values[1]
 				}
+			case "infercomp":
+				if len(last.Values) == 5 {
+					h["infercomp_serial_s"] = last.Values[0]
+					h["infercomp_parallel4_s"] = last.Values[1]
+					h["infercomp_cached_s"] = last.Values[2]
+					h["infercomp_cached_speedup"] = last.Values[3]
+					h["infercomp_dirty_node_frac"] = last.Values[4]
+				}
 			case "fig11a":
 				if v, ok := cell(t, last.Label, "SPIRE"); ok {
 					h["fig11a_spire_f_max_rate"] = v

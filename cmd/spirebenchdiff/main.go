@@ -28,6 +28,13 @@ var gatedKeys = []string{
 	"table3_update_s_max",
 	"table3_inference_s_max",
 	"table3_s_per_epoch_max",
+	// Component-sharded inference: the serial full-sweep cost at the
+	// largest size gates like the Table III timings, and the steady-state
+	// dirty-node fraction gates the incrementality claim — it is
+	// deterministic (fixed grower seed), so a change that starts sweeping
+	// clean components again fails the build rather than just slowing it.
+	"infercomp_serial_s",
+	"infercomp_dirty_node_frac",
 }
 
 type report struct {

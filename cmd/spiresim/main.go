@@ -62,6 +62,7 @@ func run() error {
 		shelves = flag.Int("shelves", cfg.NumShelves, "number of shelf locations")
 		shelfT  = flag.Int64("shelf-time", int64(cfg.ShelfTime), "mean shelving duration in epochs")
 		theft   = flag.Int64("theft-interval", int64(cfg.TheftInterval), "epochs between thefts (0 = none)")
+		inferW  = flag.Int("infer-workers", 0, "accepted for symmetry with cmd/spire; the generator runs no inference, so this does not affect the stream")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address while generating")
 		telDump     = flag.Bool("telemetry-dump", false, "print a final metrics snapshot to stderr")
@@ -77,6 +78,9 @@ func run() error {
 		return err
 	}
 	logMain := logging.Component("spiresim")
+	if *inferW < 0 {
+		return fmt.Errorf("-infer-workers %d must be >= 0", *inferW)
+	}
 
 	cfg.Seed = *seed
 	cfg.Duration = model.Epoch(*dur)

@@ -7,9 +7,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"maps"
-	"sort"
+	"slices"
 	"time"
 
 	"spire/internal/compress"
@@ -184,7 +185,7 @@ func New(cfg Config) (*Substrate, error) {
 		s.readers[r.ID] = r
 		s.order = append(s.order, r.ID)
 	}
-	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	slices.Sort(s.order)
 	for _, l := range cfg.Locations {
 		if l.Exit {
 			s.exits[l.ID] = true
@@ -209,6 +210,16 @@ func (s *Substrate) Graph() *graph.Graph { return s.graph }
 
 // Schedule exposes the partial/complete inference schedule.
 func (s *Substrate) Schedule() inference.Schedule { return s.schedule }
+
+// SetInferWorkers overrides the inference worker-pool width at runtime
+// (0 = GOMAXPROCS, 1 = serial). Worker width is never persisted, so this
+// is how CLI tuning is applied after a checkpoint restore; outputs are
+// byte-identical for every width.
+func (s *Substrate) SetInferWorkers(n int) { s.inf.SetWorkers(n) }
+
+// InferStats returns the component/node accounting of the most recent
+// inference pass.
+func (s *Substrate) InferStats() inference.PassStats { return s.inf.LastStats() }
 
 // Stats returns accumulated processing statistics.
 func (s *Substrate) Stats() Stats { return s.stats }
@@ -392,6 +403,12 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		tel.Epochs.Inc()
 		tel.Readings.Add(rawReadings)
 		tel.Retired.Add(int64(len(retired)))
+		ist := s.inf.LastStats()
+		tel.InferDirty.Add(int64(ist.DirtyComponents))
+		tel.InferClean.Add(int64(ist.CleanComponents))
+		tel.InferNodesRun.Add(int64(ist.NodesInferred))
+		tel.InferNodesCached.Add(int64(ist.NodesCached))
+		tel.InferWorkersGauge.Set(int64(ist.Workers))
 		tel.Graph.Record(s.graph)
 		openLocs, openConts := s.comp.Opens()
 		tel.Comp.Record(openLocs, openConts, len(out.Events), evBytes)
@@ -422,6 +439,7 @@ func (s *Substrate) exitSet(res *inference.Result) []model.Tag {
 	if len(seeds) == 0 {
 		return nil
 	}
+	sortTags(seeds) // one deterministic order for the whole walk
 	children := make(map[model.Tag][]model.Tag)
 	for c, p := range res.Parents {
 		if p != model.NoTag {
@@ -446,14 +464,20 @@ func (s *Substrate) exitSet(res *inference.Result) []model.Tag {
 	for g := range set {
 		out = append(out, g)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		li, lj := levelOf(out[i]), levelOf(out[j])
-		if li != lj {
-			return li > lj
+	slices.SortFunc(out, func(a, b model.Tag) int {
+		if la, lb := levelOf(a), levelOf(b); la != lb {
+			return cmp.Compare(lb, la) // containers (higher levels) first
 		}
-		return out[i] < out[j]
+		return cmp.Compare(a, b)
 	})
 	return out
+}
+
+// sortTags sorts a tag slice ascending — the one comparator shared by
+// every deterministic-ordering site (retire walks, tombstone snapshots,
+// impacted-tag seeds) instead of a per-call sort.Slice closure.
+func sortTags(tags []model.Tag) {
+	slices.Sort(tags)
 }
 
 // Close ends all open pairs at epoch now, producing the closing events of

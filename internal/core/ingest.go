@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"spire/internal/model"
 )
@@ -164,7 +164,7 @@ func (g *ingestGate) flushThrough(limit model.Epoch) []*model.Observation {
 	if len(ready) == 0 {
 		return nil
 	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	slices.Sort(ready)
 	out := make([]*model.Observation, 0, len(ready))
 	lastSeq := 0
 	for _, t := range ready {

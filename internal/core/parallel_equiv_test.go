@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/inference"
+	"spire/internal/model"
+	"spire/internal/sim"
+)
+
+// The worker pool and the settled-slab cache are runtime tuning knobs:
+// for any worker count and either cache setting the substrate must emit a
+// byte-identical event stream, build an identical query store, and write
+// byte-identical snapshots. These tests pin that end to end, including
+// across a mid-run checkpoint/restore that retunes the worker count the
+// way the CLI's -infer-workers flag does after a restore.
+
+// inferVariant names one (workers, cache) operating point.
+type inferVariant struct {
+	workers      int
+	disableCache bool
+}
+
+func (v inferVariant) String() string {
+	return fmt.Sprintf("workers=%d/cache=%v", v.workers, !v.disableCache)
+}
+
+var inferVariants = []inferVariant{
+	{workers: 1, disableCache: false},
+	{workers: 2, disableCache: false},
+	{workers: 4, disableCache: true},
+	{workers: 4, disableCache: false},
+	{workers: 8, disableCache: false},
+}
+
+func newTunedSubstrate(t *testing.T, s *sim.Simulator, level CompressionLevel, v inferVariant) *Substrate {
+	t.Helper()
+	icfg := inference.DefaultConfig()
+	icfg.Workers = v.workers
+	icfg.DisableCache = v.disableCache
+	sub, err := New(Config{
+		Readers:     s.Readers(),
+		Locations:   s.Locations(),
+		Inference:   icfg,
+		Compression: level,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+// runTraceSnap processes a whole trace, returning the per-epoch event
+// slices, the closing events, and the snapshot taken right after epoch
+// index mid and at the end.
+func runTraceSnap(t *testing.T, sub *Substrate, trace []*model.Observation, mid int) (perEpoch [][]event.Event, closing []event.Event, midSnap, endSnap []byte) {
+	t.Helper()
+	perEpoch = make([][]event.Event, len(trace))
+	for i, o := range trace {
+		out, err := sub.ProcessEpoch(o.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		perEpoch[i] = append([]event.Event(nil), out.Events...)
+		if i == mid {
+			zeroWallClock(sub) // snapshots embed wall-clock stage timings
+			var buf bytes.Buffer
+			if err := sub.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			midSnap = buf.Bytes()
+		}
+	}
+	closing = sub.Close(trace[len(trace)-1].Time + 1)
+	zeroWallClock(sub)
+	var buf bytes.Buffer
+	if err := sub.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return perEpoch, closing, midSnap, buf.Bytes()
+}
+
+func flatten(perEpoch [][]event.Event, closing []event.Event) []event.Event {
+	var full []event.Event
+	for _, evs := range perEpoch {
+		full = append(full, evs...)
+	}
+	return append(full, closing...)
+}
+
+// TestInferWorkersByteIdentity is the end-to-end determinism pin of the
+// sharded inference path: every (workers, cache) variant reproduces the
+// serial cache-off run bit for bit at both compression levels.
+func TestInferWorkersByteIdentity(t *testing.T) {
+	trace, s := buildTrace(t, 120)
+	mid := len(trace) / 2
+	for _, level := range []CompressionLevel{Level1, Level2} {
+		t.Run(fmt.Sprintf("level%d", level), func(t *testing.T) {
+			base := newTunedSubstrate(t, s, level, inferVariant{workers: 1, disableCache: true})
+			refEpochs, refClosing, refMid, refEnd := runTraceSnap(t, base, trace, mid)
+			refFull := flatten(refEpochs, refClosing)
+			refBytes := encodeEvents(t, refFull)
+			refStore := feedStore(t, refFull)
+			if len(refBytes) == 0 {
+				t.Fatal("reference run produced no events")
+			}
+
+			for _, v := range inferVariants {
+				sub := newTunedSubstrate(t, s, level, v)
+				perEpoch, closing, midSnap, endSnap := runTraceSnap(t, sub, trace, mid)
+				full := flatten(perEpoch, closing)
+				if !bytes.Equal(encodeEvents(t, full), refBytes) {
+					t.Fatalf("%v: event stream differs from serial cache-off run (%d vs %d events)",
+						v, len(full), len(refFull))
+				}
+				// Workers and DisableCache are runtime tuning, never state:
+				// snapshots must be byte-identical mid-run and at the end.
+				if !bytes.Equal(midSnap, refMid) {
+					t.Fatalf("%v: mid-run snapshot differs from reference", v)
+				}
+				if !bytes.Equal(endSnap, refEnd) {
+					t.Fatalf("%v: final snapshot differs from reference", v)
+				}
+				compareStores(t, feedStore(t, full), refStore, v.String())
+			}
+
+			// Restore from the mid-run snapshot, retune the pool the way the
+			// CLI does after restore, and replay the tail: the combined
+			// stream must still match the uninterrupted serial run.
+			rsub, err := RestoreSubstrate(bytes.NewReader(refMid))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rsub.SetInferWorkers(4)
+			stream := flatten(refEpochs[:mid+1], nil)
+			for _, o := range trace[mid+1:] {
+				out, err := rsub.ProcessEpoch(o.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				stream = append(stream, out.Events...)
+			}
+			stream = append(stream, rsub.Close(trace[len(trace)-1].Time+1)...)
+			if !bytes.Equal(encodeEvents(t, stream), refBytes) {
+				t.Fatal("restore + SetInferWorkers(4) replay not byte-identical")
+			}
+		})
+	}
+}
+
+// FuzzInferParallelEquivalence drives fault-injected delivery sequences
+// (dropout bursts, duplicates, swaps, lost epochs) through the repairing
+// ingest gate into three differently tuned substrates and demands
+// identical output streams and snapshots. The faults come from the fuzzed
+// parameters, so the fuzzer explores the space of broken reader feeds.
+func FuzzInferParallelEquivalence(f *testing.F) {
+	cfg := sim.DefaultConfig()
+	cfg.Duration = 80
+	cfg.PalletInterval = 40
+	cfg.ItemsPerCase = 3
+	cfg.ShelfTime = 60
+	cfg.ShelfPeriod = 10
+	s, err := sim.New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var trace []*model.Observation
+	for !s.Done() {
+		o, err := s.Step()
+		if err != nil {
+			f.Fatal(err)
+		}
+		trace = append(trace, o)
+	}
+
+	f.Add(int64(1), byte(0), byte(0), byte(0), byte(0), byte(0))
+	f.Add(int64(2), byte(30), byte(30), byte(10), byte(10), byte(3))
+	f.Add(int64(3), byte(60), byte(0), byte(25), byte(7), byte(2))
+	f.Add(int64(4), byte(0), byte(60), byte(0), byte(15), byte(5))
+	f.Fuzz(func(t *testing.T, seed int64, dup, swap, drop, burstEvery, burstLen byte) {
+		fcfg := sim.FaultConfig{
+			Seed:          seed,
+			DuplicateRate: float64(dup%64) / 100,
+			SwapRate:      float64(swap%64) / 100,
+			DropEpochRate: float64(drop%32) / 100,
+			DropoutEvery:  model.Epoch(burstEvery % 20),
+			DropoutLen:    model.Epoch(burstLen % 5),
+		}
+		delivery := sim.NewFaultInjector(fcfg).Apply(trace)
+		rcfg := RunnerConfig{Ingest: IngestConfig{Policy: IngestRepair}}
+
+		variants := []inferVariant{
+			{workers: 1, disableCache: true},
+			{workers: 4, disableCache: true},
+			{workers: 4, disableCache: false},
+		}
+		var refEvents []byte
+		var refSnap []byte
+		for i, v := range variants {
+			sub := newTunedSubstrate(t, s, Level2, v)
+			evs, _ := runGated(t, sub, rcfg, delivery)
+			got := encodeEvents(t, evs)
+			zeroWallClock(sub) // snapshots embed wall-clock stage timings
+			var snap bytes.Buffer
+			if err := sub.Snapshot(&snap); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				refEvents, refSnap = got, snap.Bytes()
+				continue
+			}
+			if !bytes.Equal(got, refEvents) {
+				t.Fatalf("%v: faulted stream output differs from serial cache-off run", v)
+			}
+			if !bytes.Equal(snap.Bytes(), refSnap) {
+				t.Fatalf("%v: snapshot after faulted stream differs", v)
+			}
+		}
+	})
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"spire/internal/checkpoint"
@@ -130,7 +129,7 @@ func (s *Substrate) Snapshot(w io.Writer) error {
 	for g := range s.tombstones {
 		tombs = append(tombs, g)
 	}
-	sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
+	sortTags(tombs)
 	e.Uint64(uint64(len(tombs)))
 	for _, g := range tombs {
 		e.Uint64(uint64(g))

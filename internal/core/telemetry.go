@@ -34,6 +34,17 @@ type Instruments struct {
 	Readings *telemetry.Counter
 	Retired  *telemetry.Counter
 
+	// Component-sharded inference accounting: components swept vs skipped
+	// (spire_infer_components_total{state=dirty|clean}), nodes inferred vs
+	// served from the settled-slab cache
+	// (spire_infer_nodes_total{state=inferred|cached}), and the resolved
+	// worker-pool width.
+	InferDirty        *telemetry.Counter
+	InferClean        *telemetry.Counter
+	InferNodesRun     *telemetry.Counter
+	InferNodesCached  *telemetry.Counter
+	InferWorkersGauge *telemetry.Gauge
+
 	Graph *graph.Instruments
 	Comp  *compress.Instruments
 	Dedup *dedup.Instruments
@@ -67,10 +78,20 @@ func NewInstruments(reg *telemetry.Registry, level CompressionLevel) *Instrument
 		Epochs:        reg.Counter("spire_epochs_total", "Epochs processed."),
 		Readings:      reg.Counter("spire_readings_total", "Raw tag readings ingested."),
 		Retired:       reg.Counter("spire_objects_retired_total", "Objects retired through an exit location."),
-		Graph:         graph.NewInstruments(reg),
-		Comp:          compress.NewInstruments(reg, levelLabel),
-		Dedup:         dedup.NewInstruments(reg),
-		Ckpt:          checkpoint.NewInstruments(reg),
+		InferDirty: reg.Counter("spire_infer_components_total",
+			"Connected components handled by an inference pass, by state.", "state", "dirty"),
+		InferClean: reg.Counter("spire_infer_components_total",
+			"Connected components handled by an inference pass, by state.", "state", "clean"),
+		InferNodesRun: reg.Counter("spire_infer_nodes_total",
+			"Nodes handled by an inference pass, by state.", "state", "inferred"),
+		InferNodesCached: reg.Counter("spire_infer_nodes_total",
+			"Nodes handled by an inference pass, by state.", "state", "cached"),
+		InferWorkersGauge: reg.Gauge("spire_infer_workers",
+			"Resolved inference worker-pool width of the last pass."),
+		Graph: graph.NewInstruments(reg),
+		Comp:  compress.NewInstruments(reg, levelLabel),
+		Dedup: dedup.NewInstruments(reg),
+		Ckpt:  checkpoint.NewInstruments(reg),
 	}
 }
 

@@ -111,6 +111,12 @@ func hotEpoch(tb testing.TB, sub *Substrate, o *model.Observation, now model.Epo
 	if tel != nil {
 		tel.Epochs.Inc()
 		tel.Readings.Add(int64(o.Total()))
+		ist := sub.InferStats()
+		tel.InferDirty.Add(int64(ist.DirtyComponents))
+		tel.InferClean.Add(int64(ist.CleanComponents))
+		tel.InferNodesRun.Add(int64(ist.NodesInferred))
+		tel.InferNodesCached.Add(int64(ist.NodesCached))
+		tel.InferWorkersGauge.Set(int64(ist.Workers))
 		tel.Graph.Record(sub.graph)
 		openLocs, openConts := sub.comp.Opens()
 		tel.Comp.Record(openLocs, openConts, 0, 0)
@@ -138,6 +144,12 @@ func TestInstrumentedHotPathAllocs(t *testing.T) {
 		tel.Epochs.Inc()
 		tel.Readings.Add(int64(o.Total()))
 		tel.Retired.Add(0)
+		ist := sub.InferStats()
+		tel.InferDirty.Add(int64(ist.DirtyComponents))
+		tel.InferClean.Add(int64(ist.CleanComponents))
+		tel.InferNodesRun.Add(int64(ist.NodesInferred))
+		tel.InferNodesCached.Add(int64(ist.NodesCached))
+		tel.InferWorkersGauge.Set(int64(ist.Workers))
 		tel.Graph.Record(sub.graph)
 		openLocs, openConts := sub.comp.Opens()
 		tel.Comp.Record(openLocs, openConts, 3, 64)

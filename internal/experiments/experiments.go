@@ -144,6 +144,7 @@ func Registry() map[string]Driver {
 			}
 			return []*Table{a, b, c}, nil
 		},
+		"infercomp":        one(InferComp),
 		"ablation-partial": one(AblationPartialInference),
 		"ablation-prune":   one(AblationPruneThreshold),
 	}
@@ -154,6 +155,6 @@ func IDs() []string {
 	return []string{
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
 		"table3", "fig10", "fig11", "fig11a", "fig11b", "fig11c",
-		"ablation-partial", "ablation-prune",
+		"infercomp", "ablation-partial", "ablation-prune",
 	}
 }

@@ -78,8 +78,19 @@ type Node struct {
 	BetaEither int
 	BetaOne    int
 
+	// InferDist and DistStamp are scratch storage owned by the inference
+	// package: the BFS hop distance assigned to this node by the sweep
+	// whose stamp is DistStamp (the same stamped-slot idiom as
+	// Edge.InferProb/InferStamp). A stamp differing from the running pass
+	// means "not reached this pass" — no per-epoch map or clearing needed.
+	InferDist int32
+	DistStamp uint64
+
 	parents  map[model.Tag]*Edge // incoming edges, keyed by parent tag
 	children map[model.Tag]*Edge // outgoing edges, keyed by child tag
+
+	comp     *Component // connected component (see components.go)
+	compSeen uint64     // rebuild-BFS visit stamp, owned by rebuildComponent
 }
 
 // Colored reports whether the node was observed in epoch now.
@@ -207,6 +218,16 @@ type Graph struct {
 	// the list, so no live pointer can alias a recycled edge.
 	freeEdges []*Edge
 
+	// Connected-component bookkeeping (see components.go): the live
+	// partition, its cached id-sorted order, the stale queue scratch, and
+	// the rebuild-BFS visit stamp counter.
+	comps        map[*Component]struct{}
+	compOrder    []*Component
+	compOrderOK  bool
+	anyStale     bool
+	staleScratch []*Component
+	compStamp    uint64
+
 	// rec is the optional decision-provenance recorder (nil when
 	// untraced); see trace.go. Recording never mutates graph state.
 	rec *trace.Recorder
@@ -222,6 +243,7 @@ func New(cfg Config) (*Graph, error) {
 		cfg:       cfg,
 		nodes:     make(map[model.Tag]*Node),
 		coloredAt: model.EpochNone,
+		comps:     make(map[*Component]struct{}),
 	}
 	for i := range g.colored {
 		g.colored[i] = make(map[model.LocationID][]*Node)
@@ -265,6 +287,7 @@ func (g *Graph) addNode(tag model.Tag, lvl model.Level) *Node {
 		children:    make(map[model.Tag]*Edge),
 	}
 	g.nodes[tag] = n
+	g.newComponent(n)
 	return n
 }
 
@@ -298,6 +321,7 @@ func (g *Graph) AddEdge(parent, child *Node, now model.Epoch) *Edge {
 	parent.children[child.Tag] = e
 	child.parents[parent.Tag] = e
 	g.edges++
+	g.unionComponents(parent.comp, child.comp, now)
 	if g.rec != nil {
 		g.rec.Record(trace.Record{
 			Epoch: now, Tag: child.Tag, Mech: trace.MechEdgeCreated,
@@ -311,15 +335,46 @@ func (g *Graph) AddEdge(parent, child *Node, now model.Epoch) *Edge {
 // identity check makes removal idempotent and guards against a stale edge
 // deleting a newer edge of the same parent-child pair.
 func (g *Graph) RemoveEdge(e *Edge) {
+	if g.DetachEdge(e) {
+		g.recycleEdge(e)
+	}
+}
+
+// DetachEdge unlinks e from its two endpoints (and clears the child's
+// confirmed-parent slot if e held it) without touching any graph-wide
+// bookkeeping, and reports whether the edge was live. Both endpoints lie
+// in the same component, so concurrent inference workers — each owning a
+// disjoint set of components — may detach edges in parallel; the shared
+// state (edge count, free list, component staleness) is settled by a
+// single RecycleDetached call after the workers join. Callers outside
+// that protocol want RemoveEdge.
+func (g *Graph) DetachEdge(e *Edge) bool {
 	if e.Child.ConfirmedEdge == e {
 		e.Child.ConfirmedEdge = nil
 	}
-	if e.Child.parents[e.Parent.Tag] == e {
-		delete(e.Child.parents, e.Parent.Tag)
-		delete(e.Parent.children, e.Child.Tag)
-		g.edges--
-		g.freeEdges = append(g.freeEdges, e)
+	if e.Child.parents[e.Parent.Tag] != e {
+		return false
 	}
+	delete(e.Child.parents, e.Parent.Tag)
+	delete(e.Parent.children, e.Child.Tag)
+	return true
+}
+
+// RecycleDetached completes the removal of edges previously unlinked with
+// DetachEdge: adjusts the edge count, parks the structs on the free list,
+// and marks the affected components stale. Must be called from the
+// goroutine owning the graph, after any concurrent detachers have joined.
+func (g *Graph) RecycleDetached(edges []*Edge) {
+	for _, e := range edges {
+		g.recycleEdge(e)
+	}
+}
+
+// recycleEdge finishes one detached edge's removal bookkeeping.
+func (g *Graph) recycleEdge(e *Edge) {
+	g.edges--
+	g.freeEdges = append(g.freeEdges, e)
+	g.markStale(e.Child.comp)
 }
 
 // RemoveNode deletes the node for tag and all incident edges. The
@@ -348,6 +403,11 @@ func (g *Graph) RemoveNode(tag model.Tag) {
 			}
 		}
 	}
+	// The node's edges are already gone (their removal marked the
+	// component stale), but an isolated node's removal must queue the
+	// rebuild itself so the member list sheds the dead entry.
+	g.markStale(n.comp)
+	n.comp = nil
 	delete(g.nodes, tag)
 }
 

@@ -19,7 +19,10 @@ import (
 //     now (they must have been removed in step 3);
 //   - a node's confirmed edge, if set, is one of its parent edges;
 //   - every node observed in epoch now appears exactly once in the colored
-//     index under its level and color.
+//     index under its level and color;
+//   - every node belongs to a registered component whose member list
+//     contains it, both endpoints of every edge share a component, and a
+//     non-stale component's id is the smallest member tag.
 func (g *Graph) CheckInvariants(now model.Epoch) error {
 	edgeSeen := 0
 	for tag, n := range g.nodes {
@@ -88,6 +91,65 @@ func (g *Graph) CheckInvariants(now model.Epoch) error {
 				return fmt.Errorf("graph: node %d appears %d times in colored index, want %d",
 					n.Tag, counted[n.Tag], want)
 			}
+		}
+	}
+	if err := g.checkComponentInvariants(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkComponentInvariants validates the component partition. Stale
+// components may be too coarse (their member lists hold nodes that have
+// since been reassigned or removed), so membership is only enforced for
+// the node's own comp pointer; edges must never cross components even
+// when stale, since staleness only ever defers a split.
+func (g *Graph) checkComponentInvariants() error {
+	for tag, n := range g.nodes {
+		c := n.comp
+		if c == nil {
+			return fmt.Errorf("graph: node %d has nil component", tag)
+		}
+		if _, ok := g.comps[c]; !ok {
+			return fmt.Errorf("graph: node %d points at unregistered component %d", tag, c.id)
+		}
+		found := false
+		for _, m := range c.members {
+			if m == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph: node %d missing from member list of component %d", tag, c.id)
+		}
+		for _, e := range n.parents {
+			if e.Parent.comp != e.Child.comp {
+				return fmt.Errorf("graph: edge %d→%d crosses components %d and %d",
+					e.Parent.Tag, e.Child.Tag, e.Parent.comp.id, e.Child.comp.id)
+			}
+		}
+	}
+	for c := range g.comps {
+		if c.stale {
+			continue
+		}
+		min := model.Tag(0)
+		live := 0
+		for _, m := range c.members {
+			if m.comp != c {
+				return fmt.Errorf("graph: non-stale component %d lists foreign node %d", c.id, m.Tag)
+			}
+			if live == 0 || m.Tag < min {
+				min = m.Tag
+			}
+			live++
+		}
+		if live == 0 {
+			return fmt.Errorf("graph: registered component %d has no members", c.id)
+		}
+		if c.id != min {
+			return fmt.Errorf("graph: component id %d but smallest member is %d", c.id, min)
 		}
 	}
 	return nil

@@ -42,6 +42,9 @@ func (g *Graph) Update(reader *model.Reader, tags []model.Tag, now model.Epoch) 
 		if n == nil {
 			n = g.addNode(tag, lvl)
 		}
+		// A read tag dirties its component: its color, fade clock, or
+		// history may change, so cached per-component verdicts are void.
+		n.comp.touch(now)
 		if n.SeenAt == now {
 			if n.RecentColor == c {
 				continue // duplicate reading within the epoch

@@ -12,7 +12,7 @@ import (
 // buildWarehouseGraph colors nShelves shelves, each holding cases of
 // items, and leaves a fraction of objects unobserved in the final epoch
 // so the iterative sweep has real work at d ≥ 1.
-func buildWarehouseGraph(b *testing.B, nShelves, casesPerShelf, itemsPerCase int) (*graph.Graph, model.Epoch) {
+func buildWarehouseGraph(b testing.TB, nShelves, casesPerShelf, itemsPerCase int) (*graph.Graph, model.Epoch) {
 	b.Helper()
 	g, err := graph.New(graph.Config{})
 	if err != nil {
@@ -79,6 +79,54 @@ func BenchmarkCompleteInference(b *testing.B) {
 			b.ReportMetric(float64(g.Len()), "nodes")
 		})
 	}
+}
+
+// The component-sharded variants cover the three operating points of the
+// sharded pass: serial full re-sweep (the Table III baseline shape),
+// 4-way worker fan-out over dirty components, and cached steady state
+// where the stream has gone quiet and passes serve settled slabs.
+func BenchmarkInferComponentsSerial(b *testing.B) {
+	benchInferComponents(b, 1, true, false)
+}
+
+func BenchmarkInferComponentsParallel4(b *testing.B) {
+	benchInferComponents(b, 4, true, false)
+}
+
+func BenchmarkInferComponentsCachedSteadyState(b *testing.B) {
+	benchInferComponents(b, 1, false, true)
+}
+
+func benchInferComponents(b *testing.B, workers int, disableCache, steady bool) {
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.DisableCache = disableCache
+	g, now := buildWarehouseGraph(b, 64, 4, 20)
+	inf, err := New(cfg, g.Config().HistorySize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if steady {
+		for i := 0; i < 4; i++ { // let every component settle into the cache
+			now++
+			inf.Infer(g, now, Complete)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if steady {
+			now++
+		}
+		res := inf.Infer(g, now, Complete)
+		if len(res.Locations) != g.Len() {
+			b.Fatalf("incomplete verdicts: %d of %d", len(res.Locations), g.Len())
+		}
+	}
+	b.StopTimer()
+	st := inf.LastStats()
+	b.ReportMetric(float64(st.NodesInferred), "nodes-inferred")
+	b.ReportMetric(float64(st.NodesCached), "nodes-cached")
 }
 
 // BenchmarkPartialInference measures the halo-limited pass the substrate

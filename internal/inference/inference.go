@@ -3,8 +3,11 @@ package inference
 import (
 	"cmp"
 	"fmt"
+	"maps"
 	"math"
+	"runtime"
 	"slices"
+	"sync"
 	"sync/atomic"
 
 	"spire/internal/graph"
@@ -76,6 +79,34 @@ func (r *Result) reset(now model.Epoch, partial bool) {
 	clear(r.Observed)
 }
 
+// PassStats summarizes one Infer call for telemetry: how many connected
+// components were swept versus skipped, and how many nodes each path
+// covered. Under complete inference a component is "clean" when its
+// cached verdict slab was reused; under partial inference, when it had no
+// reading this epoch and therefore lies outside every halo.
+type PassStats struct {
+	DirtyComponents int // components swept this pass
+	CleanComponents int // components skipped (cache hit or outside all halos)
+	NodesInferred   int // nodes that went through edge/node inference
+	NodesCached     int // nodes whose verdicts were served from a slab
+	Workers         int // resolved worker-pool width
+}
+
+// compSlab caches the verdicts of a settled component: every member
+// inferred LocationUnknown at epoch `epoch`. All-unknown is an absorbing
+// state for an untouched component — fading belief only decays further,
+// and with no known member there is nothing to propagate (Eqs. 3-4) — and
+// its parent verdicts (Eqs. 1-2) depend only on per-edge state that
+// dirtying would have invalidated, so the slab replays the sweep's exact
+// output while DirtyAt() <= epoch. An epoch of model.EpochNone marks the
+// slab invalid (the component was re-swept and found unsettled); the
+// backing arrays are kept to avoid churn when it settles again.
+type compSlab struct {
+	epoch model.Epoch
+	tags  []model.Tag
+	pars  []model.Tag
+}
+
 // Inferencer runs the iterative inference algorithm. It keeps reusable
 // scratch buffers — including the Result it returns — so one Inferencer
 // should be reused across epochs; it is not safe for concurrent use.
@@ -90,14 +121,12 @@ type Inferencer struct {
 
 	// scratch reused across epochs
 	res      Result // pooled result; see Infer's contract
-	stamp    uint64 // stamp of the running pass, matched against Edge.InferStamp
-	dist     map[model.Tag]int32
-	frontier []*graph.Node
-	next     []*graph.Node
-	rest     []*graph.Node
-	probs    map[model.LocationID]float64
-	pruned   []*graph.Edge
-	props    []propagation
+	stamp    uint64 // stamp of the running pass, matched against InferStamp/DistStamp
+	sweepers []*sweeper
+	tasks    []*graph.Component
+	settled  []bool
+	slabs    map[model.Tag]*compSlab // settled-component cache, keyed by component id
+	stats    PassStats
 }
 
 // SetTracer attaches a decision-provenance recorder: edge inference
@@ -106,10 +135,25 @@ type Inferencer struct {
 // A nil recorder disables recording. Recording is observation-only.
 func (inf *Inferencer) SetTracer(rec *trace.Recorder) { inf.rec = rec }
 
+// SetWorkers overrides the configured worker-pool width at runtime
+// (0 = GOMAXPROCS, 1 = serial). Used to apply CLI tuning after a
+// checkpoint restore; negative values are ignored.
+func (inf *Inferencer) SetWorkers(n int) {
+	if n >= 0 {
+		inf.cfg.Workers = n
+	}
+}
+
+// LastStats returns the component/node accounting of the most recent
+// Infer call.
+func (inf *Inferencer) LastStats() PassStats { return inf.stats }
+
 // passStamps issues a process-wide unique stamp per inference pass, so
-// the per-edge scratch slots of concurrently running Inferencers (each on
-// its own graph) and of successive Inferencers sharing one graph can never
-// read each other's probabilities as fresh.
+// the per-edge and per-node scratch slots of concurrently running
+// Inferencers (each on its own graph) and of successive Inferencers
+// sharing one graph can never read each other's state as fresh. Workers
+// of one pass share the pass stamp: components are disjoint, so each
+// node and edge is touched by exactly one worker.
 var passStamps atomic.Uint64
 
 // propagation is one determined neighbor color feeding node inference.
@@ -130,8 +174,7 @@ func New(cfg Config, historySize int) (*Inferencer, error) {
 	return &Inferencer{
 		cfg:     cfg,
 		weights: graph.ZipfWeights(historySize, cfg.Alpha),
-		dist:    make(map[model.Tag]int32),
-		probs:   make(map[model.LocationID]float64),
+		slabs:   make(map[model.Tag]*compSlab),
 	}, nil
 }
 
@@ -144,9 +187,19 @@ func (inf *Inferencer) Config() Config { return inf.cfg }
 // from the nearest colored node and sweeps outward: edge inference runs for
 // d=0 (observed) nodes first; then, layer by layer, edge inference followed
 // by node inference for uncolored nodes, so colors and edge probabilities
-// settled at distance d feed the inference at distance d+1. Nodes in
-// components with no colored node are processed last, in tag order, using
+// settled at distance d feed the inference at distance d+1. Nodes with no
+// colored node in their component are processed last, in tag order, using
 // whatever colors have settled.
+//
+// The sweep is sharded by connected component: no edge ever crosses a
+// component boundary, so components are inferred independently, in any
+// order, and the layer-interleaved global sweep of the paper produces the
+// same verdicts as a component-at-a-time sweep. Infer exploits that to
+// (a) skip components untouched since their last sweep — reusing the
+// cached slab of a settled component, or skipping entirely under Partial
+// mode, where an unread component intersects no halo — and (b) fan dirty
+// components across Config.Workers goroutines. Outputs are byte-identical
+// for any worker count and with the cache on or off.
 //
 // Under Partial mode only nodes with d ≤ PartialHops are interpreted and
 // "unknown" location verdicts are withheld from the result (§IV-D).
@@ -160,20 +213,247 @@ func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result
 	res.reset(now, mode == Partial)
 	inf.stamp = passStamps.Add(1)
 	inf.now = now
-	clear(inf.dist)
+	inf.stats = PassStats{Workers: inf.workerWidth()}
 
-	// Layer d=0: the colored nodes. Their location verdict is their
+	comps := g.Components(now)
+
+	// Partition components into sweep tasks and skips. A component read
+	// this epoch has DirtyAt() == now (update step 1 touches every read
+	// tag), so under Partial mode any other component holds no colored
+	// node and intersects no halo: it produces no verdicts and no side
+	// effects, and is skipped outright. Under Complete mode a component
+	// is skipped only when its settled slab replays the sweep exactly.
+	inf.tasks = inf.tasks[:0]
+	for _, c := range comps {
+		if mode == Partial {
+			if c.DirtyAt() == now {
+				inf.tasks = append(inf.tasks, c)
+			} else {
+				inf.stats.CleanComponents++
+			}
+			continue
+		}
+		if sl := inf.reusableSlab(c); sl != nil {
+			fillFromSlab(sl, res)
+			inf.stats.CleanComponents++
+			inf.stats.NodesCached += c.Len()
+			continue
+		}
+		inf.tasks = append(inf.tasks, c)
+	}
+	inf.stats.DirtyComponents = len(inf.tasks)
+	if cap(inf.settled) < len(inf.tasks) {
+		inf.settled = make([]bool, len(inf.tasks))
+	} else {
+		inf.settled = inf.settled[:len(inf.tasks)]
+	}
+
+	// Sweep the dirty components — serially into the pooled result, or
+	// across a bounded pool of workers, each with a private result merged
+	// after the join. Workers own disjoint components, so they never
+	// contend on node or edge state; detached (pruned) edges and the
+	// stale marking they imply are recycled serially after the join.
+	if spawn := min(inf.stats.Workers, len(inf.tasks)); spawn <= 1 {
+		s := inf.sweeper(0)
+		s.res = res
+		for i, c := range inf.tasks {
+			inf.settled[i] = s.sweepComponent(g, c, now, mode)
+		}
+		inf.finishSweeper(g, s)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < spawn; w++ {
+			s := inf.sweeper(w)
+			s.local.reset(now, mode == Partial)
+			s.res = &s.local
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(inf.tasks) {
+						return
+					}
+					inf.settled[i] = s.sweepComponent(g, inf.tasks[i], now, mode)
+				}
+			}()
+		}
+		wg.Wait()
+		for w := 0; w < spawn; w++ {
+			s := inf.sweepers[w]
+			maps.Copy(res.Locations, s.local.Locations)
+			maps.Copy(res.Parents, s.local.Parents)
+			maps.Copy(res.Observed, s.local.Observed)
+			inf.finishSweeper(g, s)
+		}
+	}
+
+	// Slab maintenance: refresh the cache for components that settled
+	// this pass, invalidate it for those that did not, and drop slabs
+	// whose component id no longer exists (merged away or removed).
+	if mode == Complete && !inf.cfg.DisableCache {
+		for i, c := range inf.tasks {
+			if inf.settled[i] {
+				inf.storeSlab(c, res, now)
+			} else if sl := inf.slabs[c.ID()]; sl != nil {
+				sl.epoch = model.EpochNone
+			}
+		}
+		inf.evictDeadSlabs(comps)
+	}
+	return res
+}
+
+// workerWidth resolves Config.Workers (0 = GOMAXPROCS).
+func (inf *Inferencer) workerWidth() int {
+	if w := inf.cfg.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sweeper returns the i-th pooled sweeper, growing the pool as needed.
+func (inf *Inferencer) sweeper(i int) *sweeper {
+	for len(inf.sweepers) <= i {
+		inf.sweepers = append(inf.sweepers, &sweeper{
+			inf:   inf,
+			probs: make(map[model.LocationID]float64),
+		})
+	}
+	return inf.sweepers[i]
+}
+
+// finishSweeper folds one sweeper's pass back into shared state: pruned
+// edges are recycled (adjusting the edge count, free list, and component
+// staleness — serial-only bookkeeping deferred from the workers) and the
+// node tally is added to the pass stats.
+func (inf *Inferencer) finishSweeper(g *graph.Graph, s *sweeper) {
+	g.RecycleDetached(s.detached)
+	s.detached = s.detached[:0]
+	inf.stats.NodesInferred += s.inferred
+	s.inferred = 0
+	s.res = nil
+}
+
+// reusableSlab returns the slab that replays component c's sweep, or nil
+// when c must be swept: caching disabled, no settled slab, the component
+// was dirtied after the slab epoch, or a member is traced (provenance
+// records must fire every epoch, so traced components are re-inferred —
+// the recompute of a settled component has no graph side effects and
+// reproduces the slab's verdicts exactly).
+func (inf *Inferencer) reusableSlab(c *graph.Component) *compSlab {
+	if inf.cfg.DisableCache {
+		return nil
+	}
+	sl := inf.slabs[c.ID()]
+	if sl == nil || sl.epoch == model.EpochNone || c.DirtyAt() > sl.epoch {
+		return nil
+	}
+	if inf.rec != nil {
+		for _, n := range c.Members() {
+			if inf.rec.Traces(n.Tag) {
+				return nil
+			}
+		}
+	}
+	return sl
+}
+
+// fillFromSlab replays a settled component's verdicts into res: every
+// member is at its last-known location with probability below the
+// unknown mass, i.e. LocationUnknown, with its cached parent verdict.
+func fillFromSlab(sl *compSlab, res *Result) {
+	for i, tag := range sl.tags {
+		res.Locations[tag] = model.LocationUnknown
+		res.Parents[tag] = sl.pars[i]
+	}
+}
+
+// storeSlab records the verdicts of a component that settled at epoch
+// now, reusing the previous slab's storage when present.
+func (inf *Inferencer) storeSlab(c *graph.Component, res *Result, now model.Epoch) {
+	sl := inf.slabs[c.ID()]
+	if sl == nil {
+		sl = &compSlab{}
+		inf.slabs[c.ID()] = sl
+	}
+	sl.epoch = now
+	sl.tags = sl.tags[:0]
+	sl.pars = sl.pars[:0]
+	for _, n := range c.Members() {
+		sl.tags = append(sl.tags, n.Tag)
+		sl.pars = append(sl.pars, res.Parents[n.Tag])
+	}
+}
+
+// evictDeadSlabs drops slabs keyed by component ids that no longer exist,
+// bounding cache memory. comps is sorted by id (Graph.Components).
+func (inf *Inferencer) evictDeadSlabs(comps []*graph.Component) {
+	if len(inf.slabs) == 0 {
+		return
+	}
+	for id := range inf.slabs {
+		_, live := slices.BinarySearchFunc(comps, id, func(c *graph.Component, id model.Tag) int {
+			return cmp.Compare(c.ID(), id)
+		})
+		if !live {
+			delete(inf.slabs, id)
+		}
+	}
+}
+
+// sweeper holds the per-worker scratch of the component sweep. Serial
+// passes write straight into the Inferencer's pooled result; parallel
+// workers write into their private local result, merged after the join.
+// Edges pruned during the sweep are only detached (a node-local, safely
+// concurrent operation); the shared-state half of their removal is the
+// detached list drained by finishSweeper.
+type sweeper struct {
+	inf      *Inferencer
+	res      *Result // destination for verdicts during a pass
+	local    Result  // backing storage for res in parallel passes
+	frontier []*graph.Node
+	next     []*graph.Node
+	rest     []*graph.Node
+	probs    map[model.LocationID]float64
+	pruned   []*graph.Edge
+	props    []propagation
+	detached []*graph.Edge
+	inferred int
+}
+
+// sweepComponent runs the §IV-C layered sweep over one component and
+// reports whether the component settled: complete mode, and every member
+// verdict came out LocationUnknown — the absorbing state that makes the
+// verdicts cacheable. The distance classification uses the epoch-stamped
+// InferDist/DistStamp scratch on the nodes (a stamp other than the
+// running pass means "not reached"), so no per-pass map is needed.
+func (s *sweeper) sweepComponent(g *graph.Graph, c *graph.Component, now model.Epoch, mode Mode) bool {
+	inf := s.inf
+	stamp := inf.stamp
+	res := s.res
+	settled := mode == Complete
+
+	// Layer d=0: the colored members. Their location verdict is their
 	// observation; edge inference estimates their most likely parents.
-	inf.frontier = inf.frontier[:0]
-	g.EachColored(now, func(n *graph.Node) {
-		inf.dist[n.Tag] = 0
-		inf.frontier = append(inf.frontier, n)
-		res.Observed[n.Tag] = true
-		res.Locations[n.Tag] = n.RecentColor
-	})
-	sortNodes(inf.frontier)
-	for _, n := range inf.frontier {
-		res.Parents[n.Tag] = inf.edgeInference(g, n)
+	s.frontier = s.frontier[:0]
+	for _, n := range c.Members() {
+		if n.Colored(now) {
+			n.InferDist = 0
+			n.DistStamp = stamp
+			s.frontier = append(s.frontier, n)
+			res.Observed[n.Tag] = true
+			res.Locations[n.Tag] = n.RecentColor
+		}
+	}
+	if len(s.frontier) > 0 {
+		settled = false
+	}
+	sortNodes(s.frontier)
+	for _, n := range s.frontier {
+		res.Parents[n.Tag] = s.edgeInference(g, n)
+		s.inferred++
 	}
 
 	// Sweep outward, one hop at a time.
@@ -181,27 +461,30 @@ func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result
 	if mode == Partial {
 		maxHops = int32(inf.cfg.PartialHops)
 	}
-	for d := int32(1); d <= maxHops && len(inf.frontier) > 0; d++ {
-		inf.next = inf.next[:0]
-		for _, n := range inf.frontier {
+	for d := int32(1); d <= maxHops && len(s.frontier) > 0; d++ {
+		s.next = s.next[:0]
+		for _, n := range s.frontier {
 			n.VisitParents(func(e *graph.Edge) {
-				if _, seen := inf.dist[e.Parent.Tag]; !seen {
-					inf.dist[e.Parent.Tag] = d
-					inf.next = append(inf.next, e.Parent)
+				if p := e.Parent; p.DistStamp != stamp {
+					p.InferDist = d
+					p.DistStamp = stamp
+					s.next = append(s.next, p)
 				}
 			})
 			n.VisitChildren(func(e *graph.Edge) {
-				if _, seen := inf.dist[e.Child.Tag]; !seen {
-					inf.dist[e.Child.Tag] = d
-					inf.next = append(inf.next, e.Child)
+				if ch := e.Child; ch.DistStamp != stamp {
+					ch.InferDist = d
+					ch.DistStamp = stamp
+					s.next = append(s.next, ch)
 				}
 			})
 		}
-		inf.frontier, inf.next = inf.next, inf.frontier
-		sortNodes(inf.frontier)
-		for _, n := range inf.frontier {
-			res.Parents[n.Tag] = inf.edgeInference(g, n)
-			loc := inf.nodeInference(n, now, res)
+		s.frontier, s.next = s.next, s.frontier
+		sortNodes(s.frontier)
+		for _, n := range s.frontier {
+			res.Parents[n.Tag] = s.edgeInference(g, n)
+			loc := s.nodeInference(n, now, res)
+			s.inferred++
 			if mode == Partial && loc == model.LocationUnknown {
 				// Withhold: with only a subset of readers having read this
 				// epoch, "unknown" is more likely a not-yet-read location
@@ -210,34 +493,46 @@ func (inf *Inferencer) Infer(g *graph.Graph, now model.Epoch, mode Mode) *Result
 				continue
 			}
 			res.Locations[n.Tag] = loc
+			if loc != model.LocationUnknown {
+				settled = false
+			}
 		}
 	}
 
 	if mode == Complete {
-		// Components with no colored node (every member unobserved).
-		inf.rest = inf.rest[:0]
-		g.Nodes(func(n *graph.Node) {
-			if _, seen := inf.dist[n.Tag]; !seen {
-				inf.rest = append(inf.rest, n)
+		// Members unreached from any colored node — the whole component,
+		// when it holds none, or nodes stranded by mid-sweep pruning —
+		// are processed last, in tag order, using whatever colors have
+		// settled.
+		s.rest = s.rest[:0]
+		for _, n := range c.Members() {
+			if n.DistStamp != stamp {
+				s.rest = append(s.rest, n)
 			}
-		})
-		sortNodes(inf.rest)
-		for _, n := range inf.rest {
-			res.Parents[n.Tag] = inf.edgeInference(g, n)
-			res.Locations[n.Tag] = inf.nodeInference(n, now, res)
+		}
+		sortNodes(s.rest)
+		for _, n := range s.rest {
+			res.Parents[n.Tag] = s.edgeInference(g, n)
+			loc := s.nodeInference(n, now, res)
+			s.inferred++
+			res.Locations[n.Tag] = loc
+			if loc != model.LocationUnknown {
+				settled = false
+			}
 		}
 	}
-	return res
+	return settled
 }
 
 // edgeInference applies Eqs. 1-2 to the incoming edges of n, stores each
 // edge's probability for later color propagation, optionally prunes
 // low-confidence edges, and returns the most likely container (model.NoTag
 // when none).
-func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
+func (s *sweeper) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
+	inf := s.inf
 	if n.NumParents() == 0 {
 		if inf.rec != nil && inf.rec.Traces(n.Tag) {
-			inf.recordEdgeChoice(n.Tag, model.NoTag, 0, 0)
+			s.recordEdgeChoice(n.Tag, model.NoTag, 0, 0)
 		}
 		return model.NoTag
 	}
@@ -246,7 +541,7 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 		beta = n.AdaptiveBeta(inf.cfg.Beta)
 	}
 
-	inf.pruned = inf.pruned[:0]
+	s.pruned = s.pruned[:0]
 	var z float64
 	var best *graph.Edge
 	var bestConf float64
@@ -256,7 +551,7 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 			conf += 1 - beta
 		}
 		if inf.cfg.PruneThreshold > 0 && conf < inf.cfg.PruneThreshold {
-			inf.pruned = append(inf.pruned, e)
+			s.pruned = append(s.pruned, e)
 			return
 		}
 		z += conf
@@ -267,20 +562,22 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 			best, bestConf = e, conf
 		}
 	})
-	for _, e := range inf.pruned {
+	for _, e := range s.pruned {
 		if inf.rec != nil {
 			inf.rec.Record(trace.Record{
 				Epoch: inf.now, Tag: e.Child.Tag, Mech: trace.MechEdgePruned,
 				Loc: model.LocationNone, Other: e.Parent.Tag,
 			})
 		}
-		g.RemoveEdge(e)
+		if g.DetachEdge(e) {
+			s.detached = append(s.detached, e)
+		}
 	}
 	if best == nil || z == 0 {
 		// No surviving edge carries any belief: report "no container"
 		// rather than an arbitrary pick.
 		if inf.rec != nil && inf.rec.Traces(n.Tag) {
-			inf.recordEdgeChoice(n.Tag, model.NoTag, 0, 0)
+			s.recordEdgeChoice(n.Tag, model.NoTag, 0, 0)
 		}
 		return model.NoTag
 	}
@@ -288,16 +585,16 @@ func (inf *Inferencer) edgeInference(g *graph.Graph, n *graph.Node) model.Tag {
 		e.InferProb /= z
 	})
 	if inf.rec != nil && inf.rec.Traces(n.Tag) {
-		inf.recordEdgeChoice(n.Tag, best.Parent.Tag, bestConf/z, int32(best.History.Ones()))
+		s.recordEdgeChoice(n.Tag, best.Parent.Tag, bestConf/z, int32(best.History.Ones()))
 	}
 	return best.Parent.Tag
 }
 
 // recordEdgeChoice records the Eq. 1-2 container verdict for a traced
 // tag; parent NoTag is the positive "no container" verdict.
-func (inf *Inferencer) recordEdgeChoice(tag, parent model.Tag, prob float64, coloc int32) {
-	inf.rec.Record(trace.Record{
-		Epoch: inf.now, Tag: tag, Mech: trace.MechEdgeInference,
+func (s *sweeper) recordEdgeChoice(tag, parent model.Tag, prob float64, coloc int32) {
+	s.inf.rec.Record(trace.Record{
+		Epoch: s.inf.now, Tag: tag, Mech: trace.MechEdgeInference,
 		Loc: model.LocationNone, Other: parent, Prob: prob, Aux: coloc,
 	})
 }
@@ -305,9 +602,12 @@ func (inf *Inferencer) recordEdgeChoice(tag, parent model.Tag, prob float64, col
 // nodeInference applies Eqs. 3-4 to an uncolored node and returns the most
 // likely location color, possibly model.LocationUnknown. Colors settled in
 // res.Locations propagate through incident edges weighted by the edge
-// probabilities assigned during edge inference.
-func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result) model.LocationID {
-	clear(inf.probs)
+// probabilities assigned during edge inference. Neighbors always share
+// the node's component, so a component-local result sees every color a
+// global sweep would.
+func (s *sweeper) nodeInference(n *graph.Node, now model.Epoch, res *Result) model.LocationID {
+	inf := s.inf
+	clear(s.probs)
 	gamma := inf.cfg.Gamma
 
 	// The fading belief in the most recent observation.
@@ -318,7 +618,7 @@ func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result
 			age = 1
 		}
 		fade = 1 / math.Pow(age, inf.cfg.Theta)
-		inf.probs[n.RecentColor] += (1 - gamma) * fade
+		s.probs[n.RecentColor] += (1 - gamma) * fade
 	}
 	pUnknown := (1 - gamma) * (1 - fade)
 
@@ -327,7 +627,7 @@ func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result
 	// weighted by edge probability and normalized by Z2 over the
 	// propagating edges only.
 	var z2 float64
-	inf.props = inf.props[:0]
+	s.props = s.props[:0]
 	collect := func(e *graph.Edge, other *graph.Node) {
 		loc, ok := res.Locations[other.Tag]
 		if !ok || !loc.Known() {
@@ -337,20 +637,20 @@ func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result
 			return
 		}
 		z2 += e.InferProb
-		inf.props = append(inf.props, propagation{loc: loc, p: e.InferProb})
+		s.props = append(s.props, propagation{loc: loc, p: e.InferProb})
 	}
 	n.VisitParents(func(e *graph.Edge) { collect(e, e.Parent) })
 	n.VisitChildren(func(e *graph.Edge) { collect(e, e.Child) })
 	if z2 > 0 {
-		for _, pr := range inf.props {
-			inf.probs[pr.loc] += gamma * pr.p / z2
+		for _, pr := range s.props {
+			s.probs[pr.loc] += gamma * pr.p / z2
 		}
 	}
 
 	// Most likely color; known locations win ties against "unknown", and
 	// lower location IDs win ties among known locations (determinism).
 	best, bestP := model.LocationUnknown, pUnknown
-	for loc, p := range inf.probs {
+	for loc, p := range s.probs {
 		if p > bestP || (p == bestP && (best == model.LocationUnknown || loc < best)) {
 			best, bestP = loc, p
 		}
@@ -358,7 +658,7 @@ func (inf *Inferencer) nodeInference(n *graph.Node, now model.Epoch, res *Result
 	if inf.rec != nil && inf.rec.Traces(n.Tag) {
 		inf.rec.Record(trace.Record{
 			Epoch: now, Tag: n.Tag, Mech: trace.MechNodeInference,
-			Loc: best, Prob: bestP, Aux: int32(len(inf.props)),
+			Loc: best, Prob: bestP, Aux: int32(len(s.props)),
 		})
 	}
 	return best

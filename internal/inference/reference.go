@@ -1,0 +1,95 @@
+package inference
+
+import (
+	"math"
+
+	"spire/internal/graph"
+	"spire/internal/model"
+)
+
+// InferReference runs the paper's global layer-interleaved sweep — the
+// pre-sharding Infer, kept verbatim in structure — and returns a freshly
+// allocated Result. It is the oracle for the differential tests pinning
+// the component-sharded Infer: both must produce identical results and
+// identical graph side effects (edge pruning) on identical graphs, for
+// any worker count and with the slab cache on or off.
+//
+// Unlike Infer it allocates its scratch per call and never touches the
+// slab cache; it shares the per-edge/per-node inference kernels, so the
+// comparison exercises exactly the sharding, caching, and merge logic.
+func (inf *Inferencer) InferReference(g *graph.Graph, now model.Epoch, mode Mode) *Result {
+	res := &Result{}
+	res.reset(now, mode == Partial)
+	inf.stamp = passStamps.Add(1)
+	inf.now = now
+	s := &sweeper{
+		inf:   inf,
+		res:   res,
+		probs: make(map[model.LocationID]float64),
+	}
+	dist := make(map[model.Tag]int32)
+
+	// Layer d=0: the colored nodes.
+	var frontier, next []*graph.Node
+	g.EachColored(now, func(n *graph.Node) {
+		dist[n.Tag] = 0
+		frontier = append(frontier, n)
+		res.Observed[n.Tag] = true
+		res.Locations[n.Tag] = n.RecentColor
+	})
+	sortNodes(frontier)
+	for _, n := range frontier {
+		res.Parents[n.Tag] = s.edgeInference(g, n)
+	}
+
+	// Sweep outward, one hop at a time, across the whole graph.
+	maxHops := int32(math.MaxInt32)
+	if mode == Partial {
+		maxHops = int32(inf.cfg.PartialHops)
+	}
+	for d := int32(1); d <= maxHops && len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, n := range frontier {
+			n.VisitParents(func(e *graph.Edge) {
+				if _, seen := dist[e.Parent.Tag]; !seen {
+					dist[e.Parent.Tag] = d
+					next = append(next, e.Parent)
+				}
+			})
+			n.VisitChildren(func(e *graph.Edge) {
+				if _, seen := dist[e.Child.Tag]; !seen {
+					dist[e.Child.Tag] = d
+					next = append(next, e.Child)
+				}
+			})
+		}
+		frontier, next = next, frontier
+		sortNodes(frontier)
+		for _, n := range frontier {
+			res.Parents[n.Tag] = s.edgeInference(g, n)
+			loc := s.nodeInference(n, now, res)
+			if mode == Partial && loc == model.LocationUnknown {
+				delete(res.Parents, n.Tag)
+				continue
+			}
+			res.Locations[n.Tag] = loc
+		}
+	}
+
+	if mode == Complete {
+		// Nodes unreached from any colored node, in global tag order.
+		var rest []*graph.Node
+		g.Nodes(func(n *graph.Node) {
+			if _, seen := dist[n.Tag]; !seen {
+				rest = append(rest, n)
+			}
+		})
+		sortNodes(rest)
+		for _, n := range rest {
+			res.Parents[n.Tag] = s.edgeInference(g, n)
+			res.Locations[n.Tag] = s.nodeInference(n, now, res)
+		}
+	}
+	g.RecycleDetached(s.detached)
+	return res
+}
