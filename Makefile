@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-infer bench-json bench-check cover experiments experiments-full tools clean
+.PHONY: all build test race bench bench-infer bench-ingest bench-json bench-check cover experiments experiments-full tools clean
 
 all: build test
 
@@ -23,6 +23,15 @@ bench:
 # fan-out, and cached steady state, with allocation counts.
 bench-infer:
 	go test -run '^$$' -bench 'InferComponents' -benchmem ./internal/inference/
+
+# Ingest front-half throughput: the bench-ingest experiment (readings/s
+# vs tag population, reference vs batched path) plus the per-stage Go
+# benchmarks. CI runs this in the bench-regression job and uploads
+# BENCH_ingest.json; the committed baseline gates the serial rows via
+# spirebenchdiff (as part of bench-check's -expt all run).
+bench-ingest:
+	go run ./cmd/spirebench -quick -expt bench-ingest -json BENCH_ingest.json
+	go test -run '^$$' -bench 'BenchmarkIngest' -benchmem ./internal/stream/ ./internal/dedup/ ./internal/graph/
 
 # Quick-scale experiment tables plus a machine-readable snapshot, for
 # tracking headline metrics across revisions.

@@ -172,6 +172,37 @@ func headline(exps []benchExperiment) map[string]float64 {
 					h["table3_update_s_max"] = last.Values[0]
 					h["table3_inference_s_max"] = last.Values[1]
 				}
+			case "bench-ingest":
+				// Gate seconds per million readings (larger is worse) at
+				// the largest population. The wide-width figures are
+				// recorded for the chart but not gated: they depend on
+				// the host's core count.
+				if len(last.Values) == 4 {
+					if last.Values[0] > 0 {
+						h["ingest_ref_s_per_mread"] = 1e6 / last.Values[0]
+					}
+					if last.Values[1] > 0 {
+						h["ingest_batch1_s_per_mread"] = 1e6 / last.Values[1]
+					}
+					if last.Values[2] > 0 {
+						h["ingest_batchn_s_per_mread"] = 1e6 / last.Values[2]
+					}
+					h["ingest_batch_speedup"] = last.Values[3]
+				}
+			case "ingest-stages":
+				for _, r := range t.Rows {
+					if len(r.Values) != 2 {
+						continue
+					}
+					switch r.Label {
+					case "BenchmarkIngestDecode":
+						h["ingest_decode_s_per_mread"] = r.Values[1]
+					case "BenchmarkIngestDedup":
+						h["ingest_dedup_s_per_mread"] = r.Values[1]
+					case "BenchmarkIngestUpdate":
+						h["ingest_update_s_per_mread"] = r.Values[1]
+					}
+				}
 			case "infercomp":
 				if len(last.Values) == 5 {
 					h["infercomp_serial_s"] = last.Values[0]

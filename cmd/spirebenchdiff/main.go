@@ -35,6 +35,16 @@ var gatedKeys = []string{
 	// clean components again fails the build rather than just slowing it.
 	"infercomp_serial_s",
 	"infercomp_dirty_node_frac",
+	// Batched ingest: seconds per million readings through the serial
+	// reference and batched front halves at the largest population, and
+	// the three per-stage baselines (decode, dedup, update). All are
+	// serial (width 1) so they compare across hosts with different core
+	// counts; the wide-width throughput and speedup are informational.
+	"ingest_ref_s_per_mread",
+	"ingest_batch1_s_per_mread",
+	"ingest_decode_s_per_mread",
+	"ingest_dedup_s_per_mread",
+	"ingest_update_s_per_mread",
 }
 
 type report struct {

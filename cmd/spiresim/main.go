@@ -63,6 +63,7 @@ func run() error {
 		shelfT  = flag.Int64("shelf-time", int64(cfg.ShelfTime), "mean shelving duration in epochs")
 		theft   = flag.Int64("theft-interval", int64(cfg.TheftInterval), "epochs between thefts (0 = none)")
 		inferW  = flag.Int("infer-workers", 0, "accepted for symmetry with cmd/spire; the generator runs no inference, so this does not affect the stream")
+		ingestW = flag.Int("ingest-workers", 0, "accepted for symmetry with cmd/spire; the generator runs no ingest pipeline, so this does not affect the stream")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address while generating")
 		telDump     = flag.Bool("telemetry-dump", false, "print a final metrics snapshot to stderr")
@@ -80,6 +81,9 @@ func run() error {
 	logMain := logging.Component("spiresim")
 	if *inferW < 0 {
 		return fmt.Errorf("-infer-workers %d must be >= 0", *inferW)
+	}
+	if *ingestW < 0 {
+		return fmt.Errorf("-ingest-workers %d must be >= 0", *ingestW)
 	}
 
 	cfg.Seed = *seed

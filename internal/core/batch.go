@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"spire/internal/model"
+	"spire/internal/stream"
+	"spire/internal/trace"
+)
+
+// SetIngestWorkers bounds the batched-ingest worker pools — the sharded
+// deduplication pass and the reader-group-parallel graph update used by
+// ProcessBatch (0 = GOMAXPROCS, 1 = serial). Outputs are byte-identical
+// for every width; like SetInferWorkers this is runtime tuning only and
+// is never persisted, so it must be reapplied after a checkpoint restore.
+func (s *Substrate) SetIngestWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.ingest = n
+	s.dedup.SetWorkers(n)
+}
+
+// IngestWorkers returns the configured ingest worker bound (0 = GOMAXPROCS).
+func (s *Substrate) IngestWorkers() int { return s.ingest }
+
+// ingestWidth resolves the configured bound against the machine.
+func (s *Substrate) ingestWidth() int {
+	if s.ingest > 0 {
+		return s.ingest
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ProcessBatch runs the full substrate over one epoch's columnar batch:
+// the batched counterpart of ProcessEpoch, and the path the Runner takes.
+// Dedup shards the tag column across the ingest worker pool and the graph
+// update applies independent reader groups concurrently, but the output —
+// events, results, snapshots, stats — is byte-identical to ProcessEpoch
+// on the equivalent Observation for every worker width; the equivalence
+// suite and the golden corpus pin the two paths together.
+//
+// The batch is consumed: deduplication and tombstone filtering compact
+// its columns in place. Result/RawResult buffer reuse follows the
+// ProcessEpoch contract.
+func (s *Substrate) ProcessBatch(b *model.Batch) (*EpochOutput, error) {
+	if b == nil {
+		return nil, fmt.Errorf("core: nil batch")
+	}
+	if s.rec != nil {
+		// The provenance recorder is not goroutine-safe and expects the
+		// serial sweep's record order, so traced runs take the reference
+		// path. Tracing is a diagnostic mode; the transparency tests pin
+		// that its outputs match the untraced run byte for byte.
+		return s.ProcessEpoch(b.Observation())
+	}
+	if b.Time <= s.lastNow {
+		return nil, fmt.Errorf("core: epoch %d not after previous epoch %d", b.Time, s.lastNow)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.lastNow = b.Time
+	now := b.Time
+	rawReadings := int64(b.Total())
+	s.stats.Epochs++
+	s.stats.Readings += rawReadings
+	s.stats.RawBytes += rawReadings * stream.ReadingSize
+
+	tel := s.tel
+	timed := tel != nil
+	var mark time.Time
+	if timed {
+		mark = time.Now()
+	}
+	var span trace.Span
+	if tel != nil {
+		tel.IngestReadings.Add(rawReadings)
+		tel.IngestBatchBytes.Add(b.SizeBytes())
+	}
+
+	s.dedup.CleanBatch(b)
+	s.filterTombstonesBatch(b)
+
+	if timed {
+		next := time.Now()
+		tel.StageDedup.Observe(next.Sub(mark).Seconds())
+		mark = next
+	}
+
+	start := time.Now()
+	readers := s.groupReaders[:0]
+	for i := range b.Groups {
+		readers = append(readers, s.readers[b.Groups[i].Reader])
+	}
+	s.groupReaders = readers
+	if err := s.graph.UpdateBatch(b, readers, s.ingestWidth()); err != nil {
+		return nil, err
+	}
+	for i, r := range readers {
+		if r == nil {
+			return nil, fmt.Errorf("core: reading from unknown reader %d", b.Groups[i].Reader)
+		}
+	}
+	s.stats.UpdateTime += time.Since(start)
+	if timed {
+		next := time.Now()
+		tel.StageUpdate.Observe(next.Sub(mark).Seconds())
+		mark = next
+	}
+
+	return s.finishEpoch(now, rawReadings, tel, nil, timed, mark, &span), nil
+}
+
+// filterTombstonesBatch mirrors ProcessEpoch's tombstone pass over the
+// batch columns, compacting the tag column in place: an exit reader's
+// reading of a departed tag is a residual and is dropped; any other
+// reader's reading resurrects the tag (see Substrate.tombstones).
+func (s *Substrate) filterTombstonesBatch(b *model.Batch) {
+	if len(s.tombstones) == 0 {
+		return
+	}
+	w := int32(0)
+	for i := range b.Groups {
+		gr := &b.Groups[i]
+		reader, known := s.readers[gr.Reader]
+		atExit := known && s.exits[reader.Location]
+		start := w
+		for p := gr.Start; p < gr.End; p++ {
+			g := b.Tags[p]
+			if _, dead := s.tombstones[g]; dead {
+				if atExit {
+					continue // residual reading of a departed object
+				}
+				delete(s.tombstones, g) // wrongly retired: resurrect
+			}
+			b.Tags[w] = g
+			w++
+		}
+		gr.Start, gr.End = start, w
+	}
+	b.Tags = b.Tags[:w]
+}

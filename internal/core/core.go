@@ -109,6 +109,15 @@ type Substrate struct {
 	stats    Stats
 	lastNow  model.Epoch
 
+	// ingest bounds the batched-ingest worker pools (sharded dedup and
+	// reader-group-parallel graph update); 0 = GOMAXPROCS. Like the
+	// inference width it is runtime tuning, never persisted.
+	ingest int
+
+	// groupReaders is the reused per-epoch scratch aligning a batch's
+	// reader groups with resolved *model.Reader entries (nil = unknown).
+	groupReaders []*model.Reader
+
 	// tel holds the optional runtime-telemetry instruments (nil when
 	// disabled); see telemetry.go. Recording is observation-only and never
 	// influences processing.
@@ -324,7 +333,17 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		mark = next
 	}
 
-	start = time.Now()
+	return s.finishEpoch(now, rawReadings, tel, rec, timed, mark, &span), nil
+}
+
+// finishEpoch runs the pipeline tail shared by ProcessEpoch and
+// ProcessBatch — inference, conflict resolution, compression, and exit
+// retirement — once the epoch's readings have been applied to the graph.
+// The two front halves are pinned byte-identical by the ingest
+// equivalence suite, so the tail sees indistinguishable graph state
+// whichever path ran.
+func (s *Substrate) finishEpoch(now model.Epoch, rawReadings int64, tel *Instruments, rec *trace.Recorder, timed bool, mark time.Time, span *trace.Span) *EpochOutput {
+	start := time.Now()
 	mode := s.schedule.ModeAt(now)
 	res := s.inf.Infer(s.graph, now, mode)
 	var raw *inference.Result
@@ -418,9 +437,9 @@ func (s *Substrate) ProcessEpoch(o *model.Observation) (*EpochOutput, error) {
 		span.Events = int64(len(out.Events))
 		span.Bytes = evBytes
 		span.Retired = int64(len(retired))
-		rec.EndEpoch(span)
+		rec.EndEpoch(*span)
 	}
-	return out, nil
+	return out
 }
 
 // exitSet collects the objects retiring this epoch: those observed at an

@@ -91,6 +91,13 @@ type ingestGate struct {
 	arr   map[model.Epoch]int // arrival sequence of buffered epochs
 	seq   int
 	stats IngestStats
+
+	// Reused per-call scratch: the flush work lists and the merge dedup
+	// set. Offer/Drain return out, so the returned slice is only valid
+	// until the next call (documented on Offer).
+	ready   []model.Epoch
+	out     []*model.Observation
+	dupTags map[model.Tag]bool
 }
 
 func newIngestGate(cfg IngestConfig, last model.Epoch) *ingestGate {
@@ -117,13 +124,15 @@ func (g *ingestGate) Offer(o *model.Observation) []*model.Observation {
 		}
 		g.last = o.Time
 		g.stats.Accepted++
-		return []*model.Observation{o}
+		g.out = append(g.out[:0], o)
+		return g.out
 	case IngestRepair:
 		return g.offerRepair(o)
 	default: // IngestStrict: hands-off
 		g.last = o.Time
 		g.stats.Accepted++
-		return []*model.Observation{o}
+		g.out = append(g.out[:0], o)
+		return g.out
 	}
 }
 
@@ -136,7 +145,7 @@ func (g *ingestGate) offerRepair(o *model.Observation) []*model.Observation {
 		return nil
 	}
 	if have, dup := g.buf[o.Time]; dup {
-		mergeObservation(have, o)
+		g.mergeObservation(have, o)
 		g.stats.Merged++
 	} else {
 		g.buf[o.Time] = o
@@ -155,17 +164,18 @@ func (g *ingestGate) flushThrough(limit model.Epoch) []*model.Observation {
 	if len(g.buf) == 0 {
 		return nil
 	}
-	var ready []model.Epoch
+	ready := g.ready[:0]
 	for t := range g.buf {
 		if t <= limit {
 			ready = append(ready, t)
 		}
 	}
+	g.ready = ready
 	if len(ready) == 0 {
 		return nil
 	}
 	slices.Sort(ready)
-	out := make([]*model.Observation, 0, len(ready))
+	out := g.out[:0]
 	lastSeq := 0
 	for _, t := range ready {
 		o := g.buf[t]
@@ -179,6 +189,7 @@ func (g *ingestGate) flushThrough(limit model.Epoch) []*model.Observation {
 		g.last = t
 		g.stats.Accepted++
 	}
+	g.out = out
 	return out
 }
 
@@ -190,17 +201,22 @@ func (g *ingestGate) Drain() []*model.Observation {
 
 // mergeObservation unions src's readings into dst (same epoch), dropping
 // per-reader duplicate tags so a doubled delivery merges to the original.
-func mergeObservation(dst, src *model.Observation) {
+// The dedup set is gate scratch cleared per reader, so steady-state
+// merging allocates nothing.
+func (g *ingestGate) mergeObservation(dst, src *model.Observation) {
+	if g.dupTags == nil {
+		g.dupTags = make(map[model.Tag]bool)
+	}
 	for r, tags := range src.ByReader {
 		have := dst.ByReader[r]
-		seen := make(map[model.Tag]bool, len(have)+len(tags))
-		for _, g := range have {
-			seen[g] = true
+		clear(g.dupTags)
+		for _, t := range have {
+			g.dupTags[t] = true
 		}
-		for _, g := range tags {
-			if !seen[g] {
-				have = append(have, g)
-				seen[g] = true
+		for _, t := range tags {
+			if !g.dupTags[t] {
+				have = append(have, t)
+				g.dupTags[t] = true
 			}
 		}
 		dst.ByReader[r] = have

@@ -32,6 +32,12 @@ type Runner struct {
 	cfg       RunnerConfig
 	gate      *ingestGate
 	sinceCkpt int
+
+	// batch is the reused columnar staging buffer: every gated
+	// observation is converted once and processed through the batched
+	// ingest path, so the runner's steady state allocates no per-epoch
+	// reading storage.
+	batch model.Batch
 }
 
 // NewRunner wraps a substrate with default behavior (strict ingest, no
@@ -134,7 +140,7 @@ func (r *Runner) drainGate() []*model.Observation {
 // outputs, and takes periodic checkpoints.
 func (r *Runner) process(ctx context.Context, obs []*model.Observation, out chan<- *EpochOutput) error {
 	for _, o := range obs {
-		po, err := r.sub.ProcessEpoch(o)
+		po, err := r.sub.ProcessBatch(r.batch.FromObservation(o))
 		if err != nil {
 			return fmt.Errorf("core: epoch %d: %w", o.Time, err)
 		}

@@ -34,6 +34,13 @@ type Instruments struct {
 	Readings *telemetry.Counter
 	Retired  *telemetry.Counter
 
+	// Batched-ingest accounting: readings entering ProcessBatch
+	// (spire_ingest_readings_total) and the columnar bytes they occupied
+	// (spire_ingest_batch_bytes). Both stay at zero when epochs arrive
+	// through ProcessEpoch directly.
+	IngestReadings   *telemetry.Counter
+	IngestBatchBytes *telemetry.Counter
+
 	// Component-sharded inference accounting: components swept vs skipped
 	// (spire_infer_components_total{state=dirty|clean}), nodes inferred vs
 	// served from the settled-slab cache
@@ -78,6 +85,10 @@ func NewInstruments(reg *telemetry.Registry, level CompressionLevel) *Instrument
 		Epochs:        reg.Counter("spire_epochs_total", "Epochs processed."),
 		Readings:      reg.Counter("spire_readings_total", "Raw tag readings ingested."),
 		Retired:       reg.Counter("spire_objects_retired_total", "Objects retired through an exit location."),
+		IngestReadings: reg.Counter("spire_ingest_readings_total",
+			"Raw readings entering the batched ingest path."),
+		IngestBatchBytes: reg.Counter("spire_ingest_batch_bytes",
+			"Columnar bytes of epoch batches entering the batched ingest path."),
 		InferDirty: reg.Counter("spire_infer_components_total",
 			"Connected components handled by an inference pass, by state.", "state", "dirty"),
 		InferClean: reg.Counter("spire_infer_components_total",

@@ -1,0 +1,246 @@
+package dedup
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spire/internal/checkpoint"
+	"spire/internal/model"
+	"spire/internal/telemetry"
+)
+
+// randomStream builds a deterministic sequence of observations with heavy
+// reader overlap, within-reader repeats, and occasional long gaps (to
+// exercise the staleness window).
+func randomStream(seed int64, epochs int) []*model.Observation {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*model.Observation, 0, epochs)
+	now := model.Epoch(1)
+	for e := 0; e < epochs; e++ {
+		if rng.Intn(20) == 0 {
+			now += DefaultStaleness + model.Epoch(rng.Intn(10))
+		} else {
+			now++
+		}
+		o := model.NewObservation(now)
+		readers := rng.Intn(6)
+		for i := 0; i < readers; i++ {
+			r := model.ReaderID(1 + rng.Intn(8))
+			if _, ok := o.ByReader[r]; ok {
+				continue
+			}
+			tags := make([]model.Tag, 0)
+			for j := rng.Intn(12); j > 0; j-- {
+				tags = append(tags, model.Tag(1+rng.Intn(24)))
+			}
+			o.ByReader[r] = tags // may be empty: active reader, no reads
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+func encodeDedup(d *Deduplicator) []byte {
+	var buf bytes.Buffer
+	e := checkpoint.NewEncoder()
+	d.EncodeState(e)
+	if err := e.Flush(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+type counterSet struct{ dups, reassigns, tracked int64 }
+
+func instrument(d *Deduplicator) func() counterSet {
+	reg := telemetry.NewRegistry()
+	ins := NewInstruments(reg)
+	d.Instrument(ins)
+	return func() counterSet {
+		return counterSet{ins.Duplicates.Value(), ins.Reassignments.Value(), ins.Tracked.Value()}
+	}
+}
+
+// TestCleanMatchesReference differentially pins the scratch-reusing Clean
+// against the retained per-epoch-map CleanReference: identical resolved
+// observations, identical persisted bytes, identical telemetry counters.
+func TestCleanMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		ref := New()
+		fast := New()
+		refC := instrument(ref)
+		fastC := instrument(fast)
+		for _, o := range randomStream(seed, 300) {
+			a := ref.CleanReference(o.Clone())
+			b := fast.Clean(o.Clone())
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d epoch %d: Clean diverged from reference:\n got %+v\nwant %+v", seed, o.Time, b, a)
+			}
+		}
+		if refC() != fastC() {
+			t.Fatalf("seed %d: counters diverged: ref %+v fast %+v", seed, refC(), fastC())
+		}
+		if !bytes.Equal(encodeDedup(ref), encodeDedup(fast)) {
+			t.Fatalf("seed %d: persisted history diverged", seed)
+		}
+	}
+}
+
+// TestCleanBatchMatchesReference pins the columnar sharded path against
+// CleanReference for worker counts {1,2,4,8}: the compacted batch must
+// equal the resolved observation, and history, counters, and persisted
+// bytes must match for every worker count.
+func TestCleanBatchMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for seed := int64(0); seed < 5; seed++ {
+			ref := New()
+			bat := New()
+			bat.SetWorkers(workers)
+			refC := instrument(ref)
+			batC := instrument(bat)
+			var b model.Batch
+			for _, o := range randomStream(seed, 300) {
+				want := ref.CleanReference(o.Clone())
+				b.FromObservation(o)
+				bat.CleanBatch(&b)
+				if err := b.Validate(); err != nil {
+					t.Fatalf("workers %d seed %d: invalid batch after CleanBatch: %v", workers, seed, err)
+				}
+				got := b.Observation()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers %d seed %d epoch %d: CleanBatch diverged:\n got %+v\nwant %+v",
+						workers, seed, o.Time, got, want)
+				}
+			}
+			if refC() != batC() {
+				t.Fatalf("workers %d seed %d: counters diverged: ref %+v batch %+v",
+					workers, seed, refC(), batC())
+			}
+			if !bytes.Equal(encodeDedup(ref), encodeDedup(bat)) {
+				t.Fatalf("workers %d seed %d: persisted history diverged", workers, seed)
+			}
+		}
+	}
+}
+
+// TestCleanBatchGOMAXPROCS covers the workers=0 (GOMAXPROCS) resolution.
+func TestCleanBatchGOMAXPROCS(t *testing.T) {
+	ref := New()
+	bat := New()
+	bat.SetWorkers(0)
+	var b model.Batch
+	for _, o := range randomStream(11, 100) {
+		want := ref.CleanReference(o.Clone())
+		b.FromObservation(o)
+		bat.CleanBatch(&b)
+		if got := b.Observation(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("epoch %d: diverged", o.Time)
+		}
+	}
+}
+
+// TestCleanBatchForget exercises history removal against the sharded
+// store and batch scratch.
+func TestCleanBatchForget(t *testing.T) {
+	d := New()
+	var b model.Batch
+	o := model.NewObservation(1)
+	o.Add(9, 10)
+	b.FromObservation(o)
+	d.CleanBatch(&b)
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	d.Forget(10)
+	if d.Len() != 0 {
+		t.Fatalf("Len after Forget = %d, want 0", d.Len())
+	}
+	o2 := model.NewObservation(2)
+	o2.Add(9, 10)
+	o2.Add(1, 10)
+	b.FromObservation(o2)
+	d.CleanBatch(&b)
+	got := b.Observation()
+	if len(got.ByReader[1]) != 1 {
+		t.Errorf("forgotten tag must pick lowest reader: %v", got.ByReader)
+	}
+}
+
+// TestCleanSteadyStateAllocs pins satellite 2: after warmup the reused
+// scratch makes Clean allocation-free for a recurring workload shape.
+func TestCleanSteadyStateAllocs(t *testing.T) {
+	d := New()
+	build := func(now model.Epoch) *model.Observation {
+		o := model.NewObservation(now)
+		for r := model.ReaderID(1); r <= 4; r++ {
+			for g := model.Tag(1); g <= 16; g++ {
+				o.Add(r, g)
+			}
+		}
+		return o
+	}
+	obs := make([]*model.Observation, 64)
+	for i := range obs {
+		obs[i] = build(model.Epoch(100 + i))
+	}
+	for i := 0; i < 8; i++ { // warmup grows scratch to steady state
+		d.Clean(build(model.Epoch(i + 1)))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(len(obs), func() {
+		d.Clean(obs[i%len(obs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Clean allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// TestCleanBatchSteadyStateAllocs pins the columnar serial path: zero
+// allocations per epoch once scratch has warmed up.
+func TestCleanBatchSteadyStateAllocs(t *testing.T) {
+	d := New()
+	var b model.Batch
+	fill := func(now model.Epoch) {
+		b.Reset(now)
+		for r := model.ReaderID(1); r <= 4; r++ {
+			b.BeginReader(r)
+			for g := model.Tag(1); g <= 16; g++ {
+				b.Append(g)
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		fill(model.Epoch(i + 1))
+		d.CleanBatch(&b)
+	}
+	now := model.Epoch(100)
+	allocs := testing.AllocsPerRun(64, func() {
+		fill(now)
+		d.CleanBatch(&b)
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("CleanBatch allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	// The shard function participates in no persisted format, but spread
+	// matters: dense tag ranges must not collapse into few shards.
+	var hit [NumShards]bool
+	for g := model.Tag(1); g <= 256; g++ {
+		hit[shardOf(g)] = true
+	}
+	n := 0
+	for _, h := range hit {
+		if h {
+			n++
+		}
+	}
+	if n < NumShards/2 {
+		t.Fatalf("dense tags hit only %d/%d shards", n, NumShards)
+	}
+}

@@ -20,19 +20,24 @@ const sectionDedup = "DDUP"
 // epoch), used to validate the count before allocating.
 const entryEncSize = 8 + 8 + 8
 
-// EncodeState appends the dedup history to e.
+// EncodeState appends the dedup history to e. Tags are collected across
+// all shards and sorted globally, so the encoding is byte-identical to the
+// pre-sharded store for the same history.
 func (d *Deduplicator) EncodeState(e *checkpoint.Encoder) {
 	e.Section(sectionDedup)
-	tags := make([]model.Tag, 0, len(d.lastReader))
-	for g := range d.lastReader {
-		tags = append(tags, g)
+	tags := make([]model.Tag, 0, d.Len())
+	for i := range d.shards {
+		for g := range d.shards[i].lastReader {
+			tags = append(tags, g)
+		}
 	}
 	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
 	e.Uint64(uint64(len(tags)))
 	for _, g := range tags {
+		sh := &d.shards[shardOf(g)]
 		e.Uint64(uint64(g))
-		e.Int64(int64(d.lastReader[g]))
-		e.Int64(int64(d.lastAt[g]))
+		e.Int64(int64(sh.lastReader[g]))
+		e.Int64(int64(sh.lastAt[g]))
 	}
 }
 
@@ -52,11 +57,12 @@ func (d *Deduplicator) DecodeState(dec *checkpoint.Decoder) error {
 		if g == model.NoTag {
 			return fmt.Errorf("%w: dedup entry %d has zero tag", checkpoint.ErrCorrupt, i)
 		}
-		if _, dup := d.lastReader[g]; dup {
+		sh := &d.shards[shardOf(g)]
+		if _, dup := sh.lastReader[g]; dup {
 			return fmt.Errorf("%w: duplicate dedup entry for tag %d", checkpoint.ErrCorrupt, g)
 		}
-		d.lastReader[g] = r
-		d.lastAt[g] = at
+		sh.lastReader[g] = r
+		sh.lastAt[g] = at
 	}
 	return dec.Err()
 }

@@ -144,6 +144,7 @@ func Registry() map[string]Driver {
 			}
 			return []*Table{a, b, c}, nil
 		},
+		"bench-ingest":     BenchIngest,
 		"infercomp":        one(InferComp),
 		"ablation-partial": one(AblationPartialInference),
 		"ablation-prune":   one(AblationPruneThreshold),
@@ -155,6 +156,6 @@ func IDs() []string {
 	return []string{
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
 		"table3", "fig10", "fig11", "fig11a", "fig11b", "fig11c",
-		"infercomp", "ablation-partial", "ablation-prune",
+		"bench-ingest", "infercomp", "ablation-partial", "ablation-prune",
 	}
 }

@@ -175,6 +175,63 @@ func TestTable3AndFig10Shape(t *testing.T) {
 	}
 }
 
+// TestBenchIngestShape runs the ingest-throughput experiment at quick
+// scale and asserts its structure. Absolute readings/s and the parallel
+// speedup are host-dependent (and ~1 on a single-core machine), so the
+// ratios are logged, not asserted.
+func TestBenchIngestShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	tables, err := BenchIngest(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("BenchIngest returned %d tables, want 2", len(tables))
+	}
+	main, stages := tables[0], tables[1]
+	t.Log("\n" + main.String() + "\n" + stages.String())
+	if len(main.Rows) < 2 {
+		t.Fatal("bench-ingest must sweep multiple populations")
+	}
+	for _, r := range main.Rows {
+		for i, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("population %s: non-positive %s (%v)", r.Label, main.Columns[i], v)
+			}
+		}
+	}
+	want := map[string]bool{
+		"BenchmarkIngestDecode": false,
+		"BenchmarkIngestDedup":  false,
+		"BenchmarkIngestUpdate": false,
+	}
+	for _, r := range stages.Rows {
+		if _, ok := want[r.Label]; !ok {
+			t.Errorf("unexpected stage row %q", r.Label)
+			continue
+		}
+		want[r.Label] = true
+		if len(r.Values) != 2 || r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Errorf("stage %s: bad values %v", r.Label, r.Values)
+		}
+	}
+	for label, seen := range want {
+		if !seen {
+			t.Errorf("stages table missing %s", label)
+		}
+	}
+	// Decode must be far cheaper than the full front half — it is one
+	// stage of it. A violation means the measurement harness is broken,
+	// not the host slow, so this one is asserted.
+	decode, _ := stages.Cell("BenchmarkIngestDecode", "s/Mread")
+	update, _ := stages.Cell("BenchmarkIngestUpdate", "s/Mread")
+	if decode >= update {
+		t.Errorf("decode (%v s/Mread) should be cheaper than update (%v)", decode, update)
+	}
+}
+
 // TestAblations runs the two design-choice ablations at quick scale.
 func TestAblations(t *testing.T) {
 	if testing.Short() {

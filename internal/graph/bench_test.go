@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"spire/internal/epc"
@@ -87,6 +88,62 @@ func BenchmarkUpdateFirstContact(b *testing.B) {
 		if err := g.Update(reader, tags, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestUpdate measures the batched steady-state update: 64
+// shelves, each an independent one-case component, re-read in one epoch
+// batch — the workload the reader-group-parallel path targets.
+func BenchmarkIngestUpdate(b *testing.B) {
+	const shelves, items = 64, 20
+	g, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := epc.NewSequencer(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	readers := make([]*model.Reader, 0, shelves)
+	batch := model.NewBatch(1)
+	for s := 0; s < shelves; s++ {
+		r := &model.Reader{ID: model.ReaderID(10 + s), Location: model.LocationID(1 + s), Period: 60}
+		readers = append(readers, r)
+		ct, err := seq.Next(model.LevelCase)
+		if err != nil {
+			b.Fatal(err)
+		}
+		group := []model.Tag{ct}
+		for i := 0; i < items; i++ {
+			it, err := seq.Next(model.LevelItem)
+			if err != nil {
+				b.Fatal(err)
+			}
+			group = append(group, it)
+		}
+		if err := g.Update(r, group, 1); err != nil {
+			b.Fatal(err)
+		}
+		batch.BeginReader(r.ID)
+		for _, t := range group {
+			batch.Append(t)
+		}
+	}
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.Time = model.Epoch(i + 2)
+				if err := g.UpdateBatch(batch, readers, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch.Total()), "readings/op")
+		})
 	}
 }
 

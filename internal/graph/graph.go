@@ -207,8 +207,12 @@ type Graph struct {
 	// colored indexes the nodes observed in the current epoch by level and
 	// color, so the edge-creation step can find same-colored nodes in
 	// nearby layers without scanning the graph. It is reset lazily when a
-	// new epoch begins.
-	colored   [model.NumLevels]map[model.LocationID][]*Node
+	// new epoch begins. Colors are dense small integers (location table
+	// indices), so each level is a slice indexed by color rather than a
+	// map: bucket slots are distinct memory locations, which lets
+	// UpdateBatch workers that own disjoint colors append concurrently —
+	// a map bucket insert could not guarantee that. Grown by ensureColor.
+	colored   [model.NumLevels][][]*Node
 	coloredAt model.Epoch
 
 	// freeEdges recycles removed Edge structs. Color-mismatch removal and
@@ -228,6 +232,11 @@ type Graph struct {
 	staleScratch []*Component
 	compStamp    uint64
 
+	// batchScratch is UpdateBatch's reused orchestration state (see
+	// batch.go): the group union-find, supergroup chains, and deferred
+	// contexts.
+	batchScratch batchScratch
+
 	// rec is the optional decision-provenance recorder (nil when
 	// untraced); see trace.go. Recording never mutates graph state.
 	rec *trace.Recorder
@@ -244,9 +253,6 @@ func New(cfg Config) (*Graph, error) {
 		nodes:     make(map[model.Tag]*Node),
 		coloredAt: model.EpochNone,
 		comps:     make(map[*Component]struct{}),
-	}
-	for i := range g.colored {
-		g.colored[i] = make(map[model.LocationID][]*Node)
 	}
 	return g, nil
 }
@@ -392,7 +398,7 @@ func (g *Graph) RemoveNode(tag model.Tag) {
 		g.RemoveEdge(e)
 	}
 	// Drop the node from the colored index of the current epoch, if there.
-	if n.SeenAt == g.coloredAt && n.RecentColor.Known() {
+	if n.SeenAt == g.coloredAt && n.RecentColor.Known() && int(n.RecentColor) < len(g.colored[n.Level]) {
 		lvl := int(n.Level)
 		list := g.colored[lvl][n.RecentColor]
 		for i, m := range list {
@@ -414,13 +420,15 @@ func (g *Graph) RemoveNode(tag model.Tag) {
 // ColoredNodes returns the nodes observed in epoch now at the given level
 // and color. The slice is owned by the graph; do not mutate.
 func (g *Graph) ColoredNodes(lvl model.Level, color model.LocationID, now model.Epoch) []*Node {
-	if g.coloredAt != now {
+	if g.coloredAt != now || !color.Known() || int(color) >= len(g.colored[lvl]) {
 		return nil
 	}
 	return g.colored[lvl][color]
 }
 
-// EachColored calls f for every node observed in epoch now.
+// EachColored calls f for every node observed in epoch now. Iteration
+// order is deterministic: by level, then ascending color, then insertion
+// order within a bucket.
 func (g *Graph) EachColored(now model.Epoch, f func(*Node)) {
 	if g.coloredAt != now {
 		return
@@ -440,12 +448,23 @@ func (g *Graph) beginEpoch(now model.Epoch) {
 		return
 	}
 	for i := range g.colored {
-		m := g.colored[i]
-		for k := range m {
-			m[k] = m[k][:0]
+		buckets := g.colored[i]
+		for k := range buckets {
+			buckets[k] = buckets[k][:0]
 		}
 	}
 	g.coloredAt = now
+}
+
+// ensureColor grows every level's colored index to cover color c. Must be
+// called on the owning goroutine before any concurrent bucket appends.
+func (g *Graph) ensureColor(c model.LocationID) {
+	need := int(c) + 1
+	for i := range g.colored {
+		for len(g.colored[i]) < need {
+			g.colored[i] = append(g.colored[i], nil)
+		}
+	}
 }
 
 // NodeSizeBytes and EdgeSizeBytes approximate per-object memory costs for

@@ -76,7 +76,7 @@ func (g *Graph) CheckInvariants(now model.Epoch) error {
 			for color, list := range g.colored[lvl] {
 				for _, n := range list {
 					counted[n.Tag]++
-					if int(n.Level) != lvl || n.RecentColor != color || !n.Colored(now) {
+					if int(n.Level) != lvl || n.RecentColor != model.LocationID(color) || !n.Colored(now) {
 						return fmt.Errorf("graph: node %d misfiled in colored index (%v/%v)", n.Tag, n.Level, color)
 					}
 				}

@@ -1,0 +1,135 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	o := NewObservation(42)
+	o.Add(3, 100)
+	o.Add(3, 101)
+	o.Add(1, 200)
+	o.ByReader[7] = []Tag{} // active reader that read nothing
+
+	var b Batch
+	b.FromObservation(o)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if b.Time != 42 || b.Total() != 3 {
+		t.Fatalf("Time=%d Total=%d, want 42/3", b.Time, b.Total())
+	}
+	got := b.Observation()
+	if !reflect.DeepEqual(got, o) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, o)
+	}
+	// The empty group must survive as a non-nil empty slice.
+	tags, ok := got.ByReader[7]
+	if !ok || tags == nil || len(tags) != 0 {
+		t.Fatalf("empty reader entry lost: %v (ok=%v)", tags, ok)
+	}
+}
+
+func TestBatchGroupsAscending(t *testing.T) {
+	o := NewObservation(1)
+	for r := ReaderID(20); r >= 1; r-- {
+		o.Add(r, Tag(r)*10)
+	}
+	var b Batch
+	b.FromObservation(o)
+	for i := 1; i < len(b.Groups); i++ {
+		if b.Groups[i-1].Reader >= b.Groups[i].Reader {
+			t.Fatalf("groups not ascending at %d: %v", i, b.Groups)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBatchBuilderAPI(t *testing.T) {
+	var b Batch
+	b.Reset(9)
+	b.BeginReader(1)
+	b.Append(11)
+	b.Append(12)
+	b.BeginReader(4) // empty group
+	b.BeginReader(5)
+	b.Append(13)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := b.GroupTags(0); !reflect.DeepEqual(got, []Tag{11, 12}) {
+		t.Fatalf("group 0 tags = %v", got)
+	}
+	if b.Groups[1].Len() != 0 {
+		t.Fatalf("group 1 should be empty")
+	}
+	want := []Reading{
+		{Tag: 11, Reader: 1, Time: 9},
+		{Tag: 12, Reader: 1, Time: 9},
+		{Tag: 13, Reader: 5, Time: 9},
+	}
+	if got := b.Readings(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Readings = %v, want %v", got, want)
+	}
+	c := b.Clone()
+	b.Reset(10)
+	if c.Time != 9 || c.Total() != 3 {
+		t.Fatalf("clone mutated by Reset: %+v", c)
+	}
+}
+
+func TestBatchValidateRejects(t *testing.T) {
+	bad := []Batch{
+		{Groups: []ReaderGroup{{Reader: 2}, {Reader: 1}}},
+		{Groups: []ReaderGroup{{Reader: 1, Start: 1, End: 1}}},
+		{Groups: []ReaderGroup{{Reader: 1, Start: 0, End: 2}}, Tags: []Tag{1}},
+		{Tags: []Tag{1}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid batch %+v", i, b)
+		}
+	}
+}
+
+func TestBatchRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var b Batch
+	for trial := 0; trial < 200; trial++ {
+		o := NewObservation(Epoch(trial))
+		nr := rng.Intn(8)
+		for i := 0; i < nr; i++ {
+			r := ReaderID(1 + rng.Intn(12))
+			if _, ok := o.ByReader[r]; ok {
+				continue
+			}
+			nt := rng.Intn(5)
+			tags := make([]Tag, 0, nt)
+			for j := 0; j < nt; j++ {
+				tags = append(tags, Tag(1+rng.Intn(30)))
+			}
+			o.ByReader[r] = tags
+		}
+		b.FromObservation(o)
+		if err := b.Validate(); err != nil {
+			t.Fatalf("trial %d: Validate: %v", trial, err)
+		}
+		got := b.Observation()
+		if got.Time != o.Time || len(got.ByReader) != len(o.ByReader) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for r, tags := range o.ByReader {
+			if !reflect.DeepEqual(got.ByReader[r], tags) {
+				t.Fatalf("trial %d reader %d: %v != %v", trial, r, got.ByReader[r], tags)
+			}
+		}
+		// Reading order must match Observation.Readings exactly.
+		if !reflect.DeepEqual(b.Readings(), o.Readings()) {
+			t.Fatalf("trial %d: reading order diverged", trial)
+		}
+	}
+}

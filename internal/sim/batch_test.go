@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"slices"
+	"testing"
+
+	"spire/internal/model"
+)
+
+// TestStepBatchMatchesStep runs two same-seed simulators, one through
+// Step and one through StepBatch, and demands identical traces: the
+// batched entry point must consume the RNG in exactly the same order, so
+// the two can never drift. Ground-truth side effects (departures, world
+// clock) must agree too.
+func TestStepBatchMatchesStep(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 200
+	cfg.PalletInterval = 40
+	cfg.ItemsPerCase = 3
+	cfg.ShelfTime = 60
+	cfg.ShelfPeriod = 10
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch model.Batch
+	var want model.Batch
+	for !a.Done() {
+		o, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Done() {
+			t.Fatal("batched simulator finished early")
+		}
+		if err := b.StepBatch(&batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := batch.Validate(); err != nil {
+			t.Fatalf("epoch %d: %v", batch.Time, err)
+		}
+		want.FromObservation(o)
+		if batch.Time != want.Time ||
+			!slices.Equal(batch.Groups, want.Groups) ||
+			!slices.Equal(batch.Tags, want.Tags) {
+			t.Fatalf("epoch %d: batched observation diverged from Step", o.Time)
+		}
+		if !slices.Equal(a.Departed(), b.Departed()) {
+			t.Fatalf("epoch %d: departures diverged: %v vs %v", o.Time, a.Departed(), b.Departed())
+		}
+	}
+	if !b.Done() {
+		t.Fatal("batched simulator did not finish with the reference")
+	}
+}

@@ -40,11 +40,25 @@ type FaultConfig struct {
 	DropEpochRate float64
 }
 
+// FaultStats counts the faults Apply actually injected — the ground
+// truth the ingest-gate accounting tests reconcile IngestStats against.
+type FaultStats struct {
+	Duplicates    int64 // observations delivered twice
+	DroppedEpochs int64 // whole-epoch deliveries lost
+	Swaps         int64 // adjacent delivery-order swaps performed
+	DropoutEpochs int64 // reader-epochs silenced by dropout bursts
+}
+
 // FaultInjector applies a FaultConfig to observation traces.
 type FaultInjector struct {
-	cfg FaultConfig
-	rng *rand.Rand
+	cfg   FaultConfig
+	rng   *rand.Rand
+	stats FaultStats
 }
+
+// Stats returns the faults injected so far, accumulated across Apply
+// calls.
+func (f *FaultInjector) Stats() FaultStats { return f.stats }
 
 // NewFaultInjector builds an injector.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector {
@@ -66,22 +80,28 @@ func (f *FaultInjector) Apply(trace []*model.Observation) []*model.Observation {
 				burstUntil = c.Time + f.cfg.DropoutLen
 			}
 			if c.Time < burstUntil {
+				if _, present := c.ByReader[burstVictim]; present {
+					f.stats.DropoutEpochs++
+				}
 				delete(c.ByReader, burstVictim)
 			}
 		}
 
 		if f.cfg.DropEpochRate > 0 && f.rng.Float64() < f.cfg.DropEpochRate {
+			f.stats.DroppedEpochs++
 			continue
 		}
 		out = append(out, c)
 		if f.cfg.DuplicateRate > 0 && f.rng.Float64() < f.cfg.DuplicateRate {
 			out = append(out, c.Clone())
+			f.stats.Duplicates++
 		}
 	}
 	if f.cfg.SwapRate > 0 {
 		for i := 0; i+1 < len(out); i++ {
 			if f.rng.Float64() < f.cfg.SwapRate {
 				out[i], out[i+1] = out[i+1], out[i]
+				f.stats.Swaps++
 			}
 		}
 	}

@@ -182,6 +182,53 @@ func (s *Simulator) Step() (*model.Observation, error) {
 	return s.observe(), nil
 }
 
+// StepBatch advances the warehouse by one epoch like Step but emits the
+// readings straight into the reused batch b, skipping the per-epoch
+// observation map entirely — the entry point the ingest benchmarks use
+// to generate million-tag epochs without allocation. The RNG draw order
+// is identical to Step (readers in deployment order, which is ascending
+// by ID; tags in world order), so a same-seed simulator produces the
+// same trace whichever entry point drives it.
+func (s *Simulator) StepBatch(b *model.Batch) error {
+	s.now++
+	s.world.SetNow(s.now)
+	s.departed = s.departed[:0]
+
+	if err := s.advance(); err != nil {
+		return err
+	}
+	s.observeBatch(b)
+	return nil
+}
+
+// observeBatch is observe writing into batch columns. Any change to one
+// must be mirrored in the other; the StepBatch equivalence test pins the
+// two together.
+func (s *Simulator) observeBatch(b *model.Batch) {
+	b.Reset(s.now)
+	for i := range s.readers {
+		r := &s.readers[i]
+		if !r.Active(s.now) {
+			continue
+		}
+		interrogations := s.cfg.NonShelfInterrogations
+		if r.Period > 1 {
+			interrogations = 1
+		}
+		miss := 1.0
+		for k := 0; k < interrogations; k++ {
+			miss *= 1 - r.ReadRate
+		}
+		detect := 1 - miss
+		b.BeginReader(r.ID)
+		for _, g := range s.world.At(r.Location) {
+			if s.rng.Float64() < detect {
+				b.Append(g)
+			}
+		}
+	}
+}
+
 // advance applies the epoch's world transitions.
 func (s *Simulator) advance() error {
 	now := s.now

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"spire/internal/model"
+)
+
+// Columnar entry points for the wire format. The raw stream is already
+// epoch-major and (as Writer emits it) reader-grouped within each epoch,
+// which is exactly a model.Batch laid out flat — so one epoch can be
+// decoded straight into reused batch columns without building the
+// per-epoch observation map the record-at-a-time path needs.
+
+// WriteBatch emits every reading of the batch. Groups are already in
+// ascending reader order (the Batch invariant), so unlike
+// WriteObservation no per-epoch sort is needed and the bytes produced
+// are identical to WriteObservation on the equivalent observation.
+func (w *Writer) WriteBatch(b *model.Batch) error {
+	for _, g := range b.Groups {
+		for _, tag := range b.Tags[g.Start:g.End] {
+			if err := w.Write(model.Reading{Tag: tag, Reader: g.Reader, Time: b.Time}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BatchReader decodes a raw reading stream one epoch at a time into a
+// caller-provided reused batch. Note the wire format cannot represent a
+// reader that interrogated but read nothing, so empty groups do not
+// round-trip — the same caveat the observation path has always had.
+type BatchReader struct {
+	r       *Reader
+	pending model.Reading
+	has     bool
+	err     error              // look-ahead error, surfaced on the next call
+	scratch *model.Observation // regroup fallback for foreign writers
+}
+
+// NewBatchReader returns a BatchReader decoding from r.
+func NewBatchReader(r io.Reader) *BatchReader {
+	return &BatchReader{r: NewReader(r)}
+}
+
+// Count returns the number of records decoded successfully so far.
+func (br *BatchReader) Count() int64 { return br.r.Count() }
+
+// ReadBatch fills b with the next epoch's readings, replacing its
+// contents. Epochs must be non-decreasing across the stream; within an
+// epoch readings may arrive in any reader order (streams from Writer are
+// already reader-grouped ascending and decode with zero extra work;
+// anything else is regrouped). Returns io.EOF at a clean end of stream
+// and a *CorruptError on a torn record, as Reader.Read does.
+func (br *BatchReader) ReadBatch(b *model.Batch) error {
+	if !br.has {
+		if br.err != nil {
+			err := br.err
+			br.err = nil
+			return err
+		}
+		rd, err := br.r.Read()
+		if err != nil {
+			return err
+		}
+		br.pending, br.has = rd, true
+	}
+	epoch := br.pending.Time
+	b.Reset(epoch)
+	ordered := true
+	for br.has && br.pending.Time == epoch {
+		rd := br.pending
+		if n := len(b.Groups); n == 0 || b.Groups[n-1].Reader != rd.Reader {
+			if n > 0 && b.Groups[n-1].Reader > rd.Reader {
+				ordered = false
+			}
+			b.BeginReader(rd.Reader)
+		}
+		b.Append(rd.Tag)
+		next, err := br.r.Read()
+		if err != nil {
+			// The completed epoch is intact either way; a torn record
+			// belongs to the next epoch and surfaces on the next call.
+			br.has = false
+			if err != io.EOF {
+				br.err = err
+			}
+			break
+		}
+		if next.Time < epoch {
+			return fmt.Errorf("stream: readings not ordered by epoch (%d after %d)", next.Time, epoch)
+		}
+		br.pending = next
+	}
+	if !ordered {
+		br.regroup(b)
+	}
+	return nil
+}
+
+// regroup rebuilds b with its groups merged and sorted ascending, for
+// streams whose epochs interleave readers (not produced by Writer, so
+// the extra allocation here is off the hot path).
+func (br *BatchReader) regroup(b *model.Batch) {
+	if br.scratch == nil {
+		br.scratch = model.NewObservation(b.Time)
+	}
+	o := br.scratch
+	o.Time = b.Time
+	clear(o.ByReader)
+	for i := range b.Groups {
+		r := b.Groups[i].Reader
+		for _, tag := range b.GroupTags(i) {
+			o.Add(r, tag)
+		}
+	}
+	b.FromObservation(o)
+}

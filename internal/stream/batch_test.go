@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spire/internal/model"
+)
+
+func randomObservation(rng *rand.Rand, t model.Epoch) *model.Observation {
+	o := model.NewObservation(t)
+	for r := model.ReaderID(1); r <= 6; r++ {
+		if rng.Intn(4) == 0 {
+			continue
+		}
+		n := rng.Intn(8)
+		for k := 0; k < n; k++ {
+			o.Add(r, model.Tag(rng.Intn(40)+1))
+		}
+		if n == 0 {
+			o.ByReader[r] = []model.Tag{} // interrogated, read nothing
+		}
+	}
+	return o
+}
+
+// TestWriteBatchMatchesWriteObservation pins the wire bytes: a batch and
+// its equivalent observation serialize identically.
+func TestWriteBatchMatchesWriteObservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var fromObs, fromBatch bytes.Buffer
+	wo, wb := NewWriter(&fromObs), NewWriter(&fromBatch)
+	var b model.Batch
+	for e := model.Epoch(1); e <= 50; e++ {
+		o := randomObservation(rng, e)
+		if err := wo.WriteObservation(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.WriteBatch(b.FromObservation(o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wo.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromObs.Bytes(), fromBatch.Bytes()) {
+		t.Fatal("WriteBatch bytes differ from WriteObservation")
+	}
+	if wo.Count() != wb.Count() || wo.Bytes() != wb.Bytes() {
+		t.Fatalf("writer accounting differs: %d/%d vs %d/%d",
+			wo.Count(), wo.Bytes(), wb.Count(), wb.Bytes())
+	}
+}
+
+// TestBatchReaderRoundTrip decodes a written stream epoch by epoch into
+// a reused batch and checks the decoded epochs match what was written.
+// Empty groups are deliberately absent from the expectation: the wire
+// cannot represent a reader that read nothing.
+func TestBatchReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want []*model.Observation
+	for e := model.Epoch(1); e <= 60; e++ {
+		o := randomObservation(rng, e)
+		if o.Total() == 0 {
+			continue // an epoch with no readings does not appear on the wire
+		}
+		if err := w.WriteObservation(o); err != nil {
+			t.Fatal(err)
+		}
+		for r, tags := range o.ByReader {
+			if len(tags) == 0 {
+				delete(o.ByReader, r)
+			}
+		}
+		want = append(want, o)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	br := NewBatchReader(bytes.NewReader(buf.Bytes()))
+	var b model.Batch
+	for i := 0; ; i++ {
+		err := br.ReadBatch(&b)
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("decoded %d epochs, want %d", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= len(want) {
+			t.Fatalf("decoded more than the %d epochs written", len(want))
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("epoch %d: %v", b.Time, err)
+		}
+		if got := b.Observation(); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("epoch %d: decoded %+v, want %+v", b.Time, got, want[i])
+		}
+	}
+	if br.Count() != w.Count() {
+		t.Fatalf("decoded %d records, wrote %d", br.Count(), w.Count())
+	}
+}
+
+// TestBatchReaderRegroups decodes a stream whose epoch interleaves
+// readers (a foreign writer): groups must come out merged and ascending.
+func TestBatchReaderRegroups(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	seq := []model.Reading{
+		{Tag: 10, Reader: 3, Time: 5},
+		{Tag: 11, Reader: 1, Time: 5},
+		{Tag: 12, Reader: 3, Time: 5},
+		{Tag: 13, Reader: 2, Time: 5},
+	}
+	for _, rd := range seq {
+		if err := w.Write(rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := NewBatchReader(bytes.NewReader(buf.Bytes()))
+	var b model.Batch
+	if err := br.ReadBatch(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[model.ReaderID][]model.Tag{1: {11}, 2: {13}, 3: {10, 12}}
+	if got := b.Observation().ByReader; !reflect.DeepEqual(got, want) {
+		t.Fatalf("regrouped batch = %v, want %v", got, want)
+	}
+}
+
+// TestBatchReaderCorruptTail pins the torn-record contract: everything
+// before the tear decodes, then the *CorruptError surfaces.
+func TestBatchReaderCorruptTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rd := range []model.Reading{
+		{Tag: 1, Reader: 1, Time: 1},
+		{Tag: 2, Reader: 1, Time: 2},
+	} {
+		if err := w.Write(rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:ReadingSize+ReadingSize/2]
+	br := NewBatchReader(bytes.NewReader(torn))
+	var b model.Batch
+	if err := br.ReadBatch(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Time != 1 || b.Total() != 1 {
+		t.Fatalf("first epoch should decode: %+v", b)
+	}
+	err := br.ReadBatch(&b)
+	var ce *CorruptError
+	if err == nil || !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+}
+
+// TestBatchReaderSteadyStateAllocs pins the hot decode loop: once the
+// batch buffers are warm, decoding an epoch allocates nothing.
+func TestBatchReaderSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for e := model.Epoch(1); e <= 400; e++ {
+		o := randomObservation(rng, e)
+		if o.Total() == 0 {
+			o.Add(1, 7)
+		}
+		if err := w.WriteObservation(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	var b model.Batch
+	r := bytes.NewReader(raw)
+	br := NewBatchReader(r)
+	decodeAll := func() {
+		r.Reset(raw)
+		*br = BatchReader{r: NewReader(r)} // NewReader allocs are per-stream, not per-epoch
+		for {
+			if err := br.ReadBatch(&b); err == io.EOF {
+				return
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decodeAll() // warm the batch buffers
+	perStream := testing.AllocsPerRun(50, decodeAll)
+	// A fresh Reader is two allocations (struct + bufio buffer); nothing
+	// else may allocate across the 400 decoded epochs.
+	if perStream > 3 {
+		t.Errorf("decoding 400 epochs costs %.1f allocs, want per-stream setup only (<=3)", perStream)
+	}
+}

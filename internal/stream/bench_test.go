@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"spire/internal/model"
+)
+
+// BenchmarkIngestDecode measures the columnar wire decode: a reader-
+// grouped stream (as Writer emits) decoded epoch by epoch into a reused
+// batch — the ingest path's first stage.
+func BenchmarkIngestDecode(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var bt model.Batch
+	var readings int64
+	for e := model.Epoch(1); e <= 100; e++ {
+		bt.Reset(e)
+		for r := 0; r < 64; r++ {
+			bt.BeginReader(model.ReaderID(10 + r))
+			for k := 0; k < 24; k++ {
+				bt.Append(model.Tag(int(e)*100000 + r*100 + k))
+				readings++
+			}
+		}
+		if err := w.WriteBatch(&bt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := NewBatchReader(bytes.NewReader(raw))
+		for {
+			err := br.ReadBatch(&bt)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(readings), "readings/op")
+}

@@ -133,6 +133,10 @@ func (w *Writer) Count() int64 { return w.count }
 type Reader struct {
 	r     *bufio.Reader
 	count int64 // records decoded successfully
+	// buf is the reused record buffer: a local array would escape
+	// through the io.ReadFull interface call and cost one heap
+	// allocation per decoded reading.
+	buf [ReadingSize]byte
 }
 
 // NewReader returns a Reader decoding from r.
@@ -152,14 +156,13 @@ func (r *Reader) Offset() int64 { return r.count * ReadingSize }
 // stream, and a *CorruptError (wrapping ErrCorrupt) carrying the record
 // index and byte offset if the stream ends mid-record.
 func (r *Reader) Read() (model.Reading, error) {
-	var buf [ReadingSize]byte
-	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
 		if err == io.EOF {
 			return model.Reading{}, io.EOF
 		}
 		return model.Reading{}, &CorruptError{Record: r.count, Offset: r.count * ReadingSize, Err: err}
 	}
-	rd, err := DecodeReading(buf[:])
+	rd, err := DecodeReading(r.buf[:])
 	if err != nil {
 		return model.Reading{}, &CorruptError{Record: r.count, Offset: r.count * ReadingSize, Err: err}
 	}
