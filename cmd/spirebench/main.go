@@ -189,6 +189,26 @@ func headline(exps []benchExperiment) map[string]float64 {
 					}
 					h["ingest_batch_speedup"] = last.Values[3]
 				}
+			case "bench-zones":
+				// Gate the single-substrate cost (serial); the federated
+				// rows time genuinely parallel work, so their throughput
+				// and speedup are recorded but depend on idle cores.
+				for _, r := range t.Rows {
+					if len(r.Values) != 4 {
+						continue
+					}
+					if r.Label == "single" {
+						h["zones_single_s_per_mread"] = r.Values[1]
+					}
+				}
+				if len(last.Values) == 4 {
+					h["zones_par_speedup_max"] = last.Values[2]
+					h["zones_s_per_mread_max"] = last.Values[1]
+				}
+			case "zones-merge":
+				if v, ok := cell(t, "MergerIngest", "s/Mevent"); ok {
+					h["zones_merge_s_per_mevent"] = v
+				}
 			case "ingest-stages":
 				for _, r := range t.Rows {
 					if len(r.Values) != 2 {

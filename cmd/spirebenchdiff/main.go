@@ -45,6 +45,12 @@ var gatedKeys = []string{
 	"ingest_decode_s_per_mread",
 	"ingest_dedup_s_per_mread",
 	"ingest_update_s_per_mread",
+	// Federated scaling: the single-substrate interpretation cost and the
+	// coordinator-side merge cost per input event, both serial. The
+	// multi-zone throughput rows time genuinely parallel work and stay
+	// informational — they depend on the host's idle core count.
+	"zones_single_s_per_mread",
+	"zones_merge_s_per_mevent",
 }
 
 type report struct {

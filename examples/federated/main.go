@@ -104,6 +104,9 @@ func main() {
 			}
 			merged = append(merged, m...)
 		}
+		// Epoch barrier: resolve alarms for objects no zone re-claimed
+		// this epoch.
+		merged = append(merged, merger.EndEpoch()...)
 	}
 	end := s.Now() + 1
 	for z := 0; z < 2; z++ {

@@ -145,6 +145,7 @@ func Registry() map[string]Driver {
 			return []*Table{a, b, c}, nil
 		},
 		"bench-ingest":     BenchIngest,
+		"bench-zones":      BenchZones,
 		"infercomp":        one(InferComp),
 		"ablation-partial": one(AblationPartialInference),
 		"ablation-prune":   one(AblationPruneThreshold),
@@ -156,6 +157,6 @@ func IDs() []string {
 	return []string{
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
 		"table3", "fig10", "fig11", "fig11a", "fig11b", "fig11c",
-		"bench-ingest", "infercomp", "ablation-partial", "ablation-prune",
+		"bench-ingest", "bench-zones", "infercomp", "ablation-partial", "ablation-prune",
 	}
 }

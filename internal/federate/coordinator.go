@@ -1,0 +1,403 @@
+package federate
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"time"
+
+	"spire/internal/event"
+	"spire/internal/model"
+	"spire/internal/stream"
+)
+
+// CoordinatorConfig configures the federation coordinator.
+type CoordinatorConfig struct {
+	// Zones is the cluster size; workers must announce zone IDs in
+	// [0, Zones).
+	Zones int
+
+	// Sink receives each merged epoch's events, in epoch order, with the
+	// barrier already applied. The final call delivers the closing
+	// events. Sink runs on the merge loop; a returned error aborts Serve.
+	Sink func(epoch model.Epoch, events []event.Event) error
+
+	// StragglerTimeout bounds how long the epoch barrier waits without
+	// progress before failing and naming the zones that are behind
+	// (default 30s). Progress means any zone delivering any batch.
+	StragglerTimeout time.Duration
+
+	// Logf, when set, receives connection and progress diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// zoneConn tracks one zone's delivery and ack state.
+type zoneConn struct {
+	batches map[model.Epoch][]event.Event // delivered, unmerged
+	highest model.Epoch                   // highest epoch ever delivered (dedup)
+	acked   model.Epoch
+	fin     bool
+	finAt   model.Epoch
+
+	mu        sync.Mutex // guards writes to conn and finalSent
+	conn      net.Conn   // live connection, if any
+	finalSent bool       // the final epoch's mark reached this zone (Ack or HelloAck)
+}
+
+// Coordinator accepts zone-worker connections, aligns their per-epoch
+// batches on an epoch barrier, drives the Merger in fixed zone order,
+// and acks each epoch back once merged. It serves one cluster run.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	merger *Merger
+
+	mu     sync.Mutex
+	zones  []*zoneConn
+	notify chan struct{}
+	final  model.Epoch // the final merged epoch, once known (else EpochNone)
+
+	events int64
+}
+
+// NewCoordinator builds a coordinator for a cluster of cfg.Zones workers.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Zones < 1 {
+		return nil, fmt.Errorf("federate: coordinator needs at least 1 zone, got %d", cfg.Zones)
+	}
+	if cfg.StragglerTimeout <= 0 {
+		cfg.StragglerTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		merger: NewMerger(),
+		zones:  make([]*zoneConn, cfg.Zones),
+		notify: make(chan struct{}, 1),
+		final:  model.EpochNone,
+	}
+	for z := range c.zones {
+		c.zones[z] = &zoneConn{
+			batches: make(map[model.Epoch][]event.Event),
+			highest: model.EpochNone,
+			acked:   model.EpochNone,
+			finAt:   model.EpochNone,
+		}
+	}
+	return c, nil
+}
+
+// MergedEvents reports the number of events merged so far.
+func (c *Coordinator) MergedEvents() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
+// Serve accepts workers on ln and merges until every zone has delivered
+// its Fin and the final epoch is merged, then returns nil. It returns an
+// error on context cancellation, a straggler timeout, or a sink failure.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		<-actx.Done()
+		ln.Close()
+	}()
+	go c.acceptLoop(actx, ln)
+	return c.mergeLoop(actx)
+}
+
+func (c *Coordinator) acceptLoop(ctx context.Context, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown) — merge loop decides the outcome
+		}
+		go c.handleConn(ctx, conn)
+	}
+}
+
+// handleConn serves one worker connection: handshake, then deliveries.
+func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	hello, err := stream.ReadFrame(conn)
+	if err != nil || hello.Type != stream.FrameHello {
+		c.cfg.Logf("coordinator: bad handshake from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if hello.Zone < 0 || hello.Zone >= c.cfg.Zones {
+		c.cfg.Logf("coordinator: zone %d out of range [0,%d)", hello.Zone, c.cfg.Zones)
+		return
+	}
+	zc := c.zones[hello.Zone]
+
+	c.mu.Lock()
+	acked := zc.acked
+	final := c.final
+	c.mu.Unlock()
+	zc.mu.Lock()
+	if zc.conn != nil {
+		zc.conn.Close() // a reconnecting worker replaces its old link
+	}
+	zc.conn = conn
+	err = stream.WriteFrame(conn, &stream.Frame{Type: stream.FrameHelloAck, Epoch: acked})
+	if err == nil && final != model.EpochNone && acked >= final {
+		zc.finalSent = true // the HelloAck itself carried the final mark
+	}
+	zc.mu.Unlock()
+	if err != nil {
+		return
+	}
+	c.cfg.Logf("coordinator: zone %d connected (acked through %d)", hello.Zone, acked)
+
+	defer func() {
+		zc.mu.Lock()
+		if zc.conn == conn {
+			zc.conn = nil
+		}
+		zc.mu.Unlock()
+	}()
+	for {
+		f, err := stream.ReadFrame(conn)
+		if err != nil {
+			if ctx.Err() == nil {
+				c.cfg.Logf("coordinator: zone %d connection lost: %v", hello.Zone, err)
+			}
+			return
+		}
+		switch f.Type {
+		case stream.FrameEpoch, stream.FrameFin:
+			c.deliver(ZoneID(hello.Zone), f)
+		default:
+			c.cfg.Logf("coordinator: zone %d sent unexpected %s frame", hello.Zone, f.Type)
+			return
+		}
+	}
+}
+
+// deliver stores one zone's batch, discarding epochs the coordinator has
+// already seen (re-sends after a worker reconnect or restart).
+func (c *Coordinator) deliver(zone ZoneID, f *stream.Frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	zc := c.zones[zone]
+	if f.Epoch <= zc.highest {
+		return // duplicate of an epoch already delivered
+	}
+	zc.batches[f.Epoch] = f.Events
+	zc.highest = f.Epoch
+	if f.Type == stream.FrameFin {
+		zc.fin = true
+		zc.finAt = f.Epoch
+	}
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+// mergeLoop advances the epoch barrier: epoch T merges once every zone
+// has delivered T, zones ingest in fixed order 0..N-1, the barrier's
+// deferred resolutions run, the merged events go to the sink, and T is
+// acked to every zone.
+func (c *Coordinator) mergeLoop(ctx context.Context) error {
+	next := model.EpochNone // next epoch to merge; EpochNone until known
+	for {
+		c.mu.Lock()
+		if next == model.EpochNone {
+			next = c.firstEpochLocked()
+		}
+		ready := next != model.EpochNone && c.readyLocked(next)
+		final := ready && c.allFinAtLocked(next)
+		var batches [][]event.Event
+		if ready {
+			batches = make([][]event.Event, c.cfg.Zones)
+			for z, zc := range c.zones {
+				batches[z] = zc.batches[next]
+				delete(zc.batches, next)
+			}
+		}
+		c.mu.Unlock()
+
+		if !ready {
+			if err := c.waitDelivery(ctx, next); err != nil {
+				return err
+			}
+			continue
+		}
+
+		var merged []event.Event
+		for z, b := range batches {
+			out, err := c.merger.Ingest(ZoneID(z), b)
+			if err != nil {
+				return fmt.Errorf("federate: coordinator: zone %d epoch %d: %w", z, next, err)
+			}
+			merged = append(merged, out...)
+		}
+		if final {
+			// The Fin batches carry every zone's closing events, emitted
+			// at this epoch; Close runs the last barrier and ends any
+			// interval still open in the merged state.
+			merged = append(merged, c.merger.Close(next)...)
+		} else {
+			merged = append(merged, c.merger.EndEpoch()...)
+		}
+
+		c.mu.Lock()
+		c.events += int64(len(merged))
+		for _, zc := range c.zones {
+			if next > zc.acked {
+				zc.acked = next
+			}
+		}
+		if final {
+			c.final = next
+		}
+		c.mu.Unlock()
+		if c.cfg.Sink != nil {
+			if err := c.cfg.Sink(next, merged); err != nil {
+				return fmt.Errorf("federate: coordinator sink at epoch %d: %w", next, err)
+			}
+		}
+		c.ack(next)
+		if final {
+			c.cfg.Logf("coordinator: merged final epoch %d; %d events total", next, c.MergedEvents())
+			c.lingerForFinalAcks(ctx)
+			return nil
+		}
+		next++
+	}
+}
+
+// firstEpochLocked finds the first epoch to merge: the minimum delivered
+// epoch once every zone has delivered something. All zones interpret the
+// same warehouse timeline, so their first epochs coincide; the minimum
+// guards against a misaligned zone (which would then trip the barrier's
+// straggler timeout, naming it).
+func (c *Coordinator) firstEpochLocked() model.Epoch {
+	first := model.EpochNone
+	for _, zc := range c.zones {
+		if len(zc.batches) == 0 {
+			return model.EpochNone
+		}
+		for e := range zc.batches {
+			if first == model.EpochNone || e < first {
+				first = e
+			}
+		}
+	}
+	return first
+}
+
+func (c *Coordinator) readyLocked(epoch model.Epoch) bool {
+	for _, zc := range c.zones {
+		if _, ok := zc.batches[epoch]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Coordinator) allFinAtLocked(epoch model.Epoch) bool {
+	for _, zc := range c.zones {
+		if !zc.fin || zc.finAt != epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// waitDelivery blocks until some zone delivers a batch, or the straggler
+// timeout expires — in which case the error names the zones holding up
+// the barrier for the wanted epoch.
+func (c *Coordinator) waitDelivery(ctx context.Context, wanted model.Epoch) error {
+	select {
+	case <-c.notify:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(c.cfg.StragglerTimeout):
+		return c.stragglerError(wanted)
+	}
+}
+
+func (c *Coordinator) stragglerError(wanted model.Epoch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var missing []int
+	for z, zc := range c.zones {
+		if wanted == model.EpochNone {
+			if len(zc.batches) == 0 {
+				missing = append(missing, z)
+			}
+		} else if _, ok := zc.batches[wanted]; !ok {
+			missing = append(missing, z)
+		}
+	}
+	slices.Sort(missing)
+	if wanted == model.EpochNone {
+		return fmt.Errorf("federate: epoch barrier stalled after %v waiting for first batch from zones %v",
+			c.cfg.StragglerTimeout, missing)
+	}
+	return fmt.Errorf("federate: epoch barrier stalled after %v waiting for epoch %d from zones %v",
+		c.cfg.StragglerTimeout, wanted, missing)
+}
+
+// ack sends the merged-through mark to every connected zone. Dead
+// connections are skipped — a reconnecting worker learns the mark from
+// its HelloAck instead.
+func (c *Coordinator) ack(epoch model.Epoch) {
+	c.mu.Lock()
+	final := c.final
+	c.mu.Unlock()
+	for z, zc := range c.zones {
+		zc.mu.Lock()
+		if zc.conn != nil {
+			if err := stream.WriteFrame(zc.conn, &stream.Frame{Type: stream.FrameAck, Epoch: epoch}); err != nil {
+				c.cfg.Logf("coordinator: ack %d to zone %d: %v", epoch, z, err)
+				zc.conn.Close()
+				zc.conn = nil
+			} else if final != model.EpochNone && epoch >= final {
+				zc.finalSent = true
+			}
+		}
+		zc.mu.Unlock()
+	}
+}
+
+// lingerForFinalAcks keeps the coordinator alive briefly after the final
+// merge until every zone has received the final mark — either through
+// the Ack just written, or through the HelloAck of a worker that was
+// mid-reconnect when the run completed. Without this, a zone whose
+// connection was down at the final merge would retry against a vanished
+// coordinator forever.
+func (c *Coordinator) lingerForFinalAcks(ctx context.Context) {
+	deadline := time.After(c.cfg.StragglerTimeout)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		var pending []int
+		for z, zc := range c.zones {
+			zc.mu.Lock()
+			if !zc.finalSent {
+				pending = append(pending, z)
+			}
+			zc.mu.Unlock()
+		}
+		if len(pending) == 0 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-deadline:
+			c.cfg.Logf("coordinator: zones %v never received the final ack; exiting anyway", pending)
+			return
+		case <-tick.C:
+		}
+	}
+}

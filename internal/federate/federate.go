@@ -1,6 +1,8 @@
 // Package federate merges the compressed output streams of several SPIRE
-// substrates into one warehouse-wide stream — a building block for the
-// distributed deployments the paper lists as future work.
+// substrates into one warehouse-wide stream — the building block of the
+// distributed deployment the paper lists as future work (and that its
+// follow-up, "Distributed Inference and Query Processing for RFID
+// Tracking and Monitoring", builds at scale).
 //
 // A large site runs one substrate per zone (per dock, per aisle block),
 // each covering a disjoint set of locations. Objects move between zones,
@@ -12,20 +14,38 @@
 // single consistent stream by applying zone-priority reconciliation:
 //
 //   - the zone that most recently observed an object owns its state;
+//     every Start message (location or containment) transfers ownership
+//     to its reporting zone;
 //   - when a new zone opens a location (or containment) interval for an
 //     object whose interval from another zone is still open, the stale
-//     interval is closed at the handoff epoch;
+//     interval is closed at the handoff epoch. A handoff in the same
+//     epoch the stale interval opened clamps it to a single-epoch
+//     interval [Vs, Vs] rather than suppressing it, so every emitted
+//     Start keeps a matching End;
+//   - a StartContainment naming the container that is already open is
+//     the same physical fact re-observed (containers, unlike locations,
+//     are not bound to one zone), so it is suppressed — but it still
+//     transfers ownership to the reporting zone;
 //   - end messages from a zone that no longer owns the object are
 //     dropped (its view is stale);
-//   - Missing messages are forwarded only from the owning zone, so an
-//     object in transit between zones raises at most one alarm.
+//   - Missing messages are accepted only from the owning zone (or for an
+//     object no zone has claimed, whose first reporter becomes the
+//     owner), deferred to the end of the epoch, and latched — so an
+//     object in transit between zones raises at most one alarm per
+//     disappearance, and no alarm at all when another zone picks the
+//     object up in the same epoch. Missing never touches containment
+//     state: the location and containment streams stay independent,
+//     exactly as in the per-substrate compressors.
 //
-// The merged stream satisfies event.CheckWellFormed.
+// Feed batches epoch-aligned (all zones' batches for epoch t before any
+// batch for t+1) and call EndEpoch at each epoch boundary — the barrier
+// that resolves deferred Missing messages. The merged stream satisfies
+// event.CheckWellFormed.
 package federate
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"spire/internal/event"
 	"spire/internal/model"
@@ -45,20 +65,48 @@ type objState struct {
 	contOpen  bool
 	container model.Tag
 	contVs    model.Epoch
+
+	// missing latches after a forwarded Missing so repeated alarms for
+	// one disappearance collapse to one; cleared by the next
+	// StartLocation.
+	missing bool
+}
+
+// pendingMissing is a Missing message staged until the epoch barrier.
+type pendingMissing struct {
+	obj  model.Tag
+	from model.LocationID
+	at   model.Epoch
 }
 
 // Merger reconciles per-zone streams. Feed batches in epoch order (all
-// zones' batches for epoch t before any batch for t+1); within an epoch,
-// feed zones in any fixed order. It is not safe for concurrent use.
+// zones' batches for epoch t before any batch for t+1) and, once every
+// zone's batch for an epoch is in, call EndEpoch to flush deferred
+// Missing messages; within an epoch, feed zones in any fixed order. It
+// is not safe for concurrent use.
 type Merger struct {
 	states   map[model.Tag]*objState
 	lastTime model.Epoch
 	out      []event.Event
+	pending  []pendingMissing
+
+	// claims records each object's last asserted location in the current
+	// epoch — set by forwarded location events, including an End whose
+	// object was retired in the same epoch. The epoch barrier uses claims
+	// to catch containment contradictions involving objects whose
+	// interval already closed again (e.g. a container retired at an exit
+	// the same epoch it got there). Missing-triggered closes assert no
+	// location, so they never set a claim.
+	claims map[model.Tag]model.LocationID
 }
 
 // NewMerger returns an empty merger.
 func NewMerger() *Merger {
-	return &Merger{states: make(map[model.Tag]*objState), lastTime: model.EpochNone}
+	return &Merger{
+		states:   make(map[model.Tag]*objState),
+		lastTime: model.EpochNone,
+		claims:   make(map[model.Tag]model.LocationID),
+	}
 }
 
 func (m *Merger) state(g model.Tag) *objState {
@@ -72,7 +120,8 @@ func (m *Merger) state(g model.Tag) *objState {
 
 // Ingest merges one zone's batch for one epoch and returns the merged
 // events it produced. Events within the batch must be in the zone
-// compressor's emission order.
+// compressor's emission order. Missing messages are deferred to EndEpoch,
+// so they never appear in Ingest output directly.
 func (m *Merger) Ingest(zone ZoneID, events []event.Event) ([]event.Event, error) {
 	m.out = m.out[:0]
 	for _, e := range events {
@@ -87,6 +136,12 @@ func (m *Merger) Ingest(zone ZoneID, events []event.Event) ([]event.Event, error
 			return nil, fmt.Errorf("federate: zone %d: event %v at %d before merged stream time %d",
 				zone, e, emitted, m.lastTime)
 		}
+		// A later epoch arrived before EndEpoch was called: run the
+		// previous epoch's barrier first so its conflict closes and
+		// deferred alarms keep their place in the stream.
+		if emitted > m.lastTime && m.lastTime != model.EpochNone {
+			m.barrier()
+		}
 		m.apply(zone, e)
 		if emitted > m.lastTime {
 			m.lastTime = emitted
@@ -95,12 +150,100 @@ func (m *Merger) Ingest(zone ZoneID, events []event.Event) ([]event.Event, error
 	return append([]event.Event(nil), m.out...), nil
 }
 
+// EndEpoch is the epoch barrier: once every zone's batch for the current
+// epoch has been ingested, it resolves cross-zone containment conflicts
+// and the epoch's deferred Missing messages — forwarding one alarm per
+// object that no zone re-opened this epoch, and discarding alarms for
+// objects another zone picked up.
+func (m *Merger) EndEpoch() []event.Event {
+	m.out = m.out[:0]
+	m.barrier()
+	return append([]event.Event(nil), m.out...)
+}
+
+// barrier runs the end-of-epoch resolution steps in order: cross-zone
+// containment conflicts first, then deferred Missing alarms.
+func (m *Merger) barrier() {
+	m.resolveContainmentConflicts()
+	m.flushPending()
+	clear(m.claims)
+}
+
+// resolveContainmentConflicts applies the substrate's conflict-resolution
+// invariant — containment implies colocation — across zones. A zone only
+// sees contradictions between objects it observes; when a container hands
+// off to another zone while its contents stay behind, the contradiction
+// (container here, contents there) is only visible in the merged state.
+// Any open containment whose two ends sit at different merged locations
+// is closed at the current epoch, exactly when a single substrate seeing
+// both locations would close it. Objects whose location is unknown
+// (missing, or in transit between zones this epoch) are left alone:
+// absence of evidence is not a contradiction, matching the per-substrate
+// rule that a missing object keeps its containment.
+func (m *Merger) resolveContainmentConflicts() {
+	var objs []model.Tag
+	for g, st := range m.states {
+		if !st.contOpen {
+			continue
+		}
+		childLoc, childKnown := m.effectiveLoc(g, st)
+		if !childKnown {
+			continue
+		}
+		parent, ok := m.states[st.container]
+		if !ok {
+			continue
+		}
+		parentLoc, parentKnown := m.effectiveLoc(st.container, parent)
+		if !parentKnown || parentLoc == childLoc {
+			continue
+		}
+		objs = append(objs, g)
+	}
+	slices.Sort(objs)
+	for _, g := range objs {
+		st := m.states[g]
+		m.emit(event.NewEndContainment(g, st.container, st.contVs, m.lastTime))
+		st.contOpen = false
+	}
+}
+
+// effectiveLoc is the object's location as of this epoch's barrier: the
+// location it asserted this epoch (even if the interval closed again),
+// else its open interval's location, else unknown.
+func (m *Merger) effectiveLoc(g model.Tag, st *objState) (model.LocationID, bool) {
+	if l, ok := m.claims[g]; ok {
+		return l, true
+	}
+	if st.locOpen {
+		return st.loc, true
+	}
+	return model.LocationNone, false
+}
+
+// flushPending resolves deferred Missing messages against the post-batch
+// state, appending forwarded alarms to m.out.
+func (m *Merger) flushPending() {
+	for _, p := range m.pending {
+		st := m.state(p.obj)
+		if st.locOpen || st.missing {
+			continue // picked up by another zone, or already alarmed
+		}
+		st.missing = true
+		m.emit(event.NewMissing(p.obj, p.from, p.at))
+	}
+	m.pending = m.pending[:0]
+}
+
 func (m *Merger) apply(zone ZoneID, e event.Event) {
 	st := m.state(e.Object)
 	switch e.Kind {
 	case event.StartLocation:
 		// The reporting zone takes ownership; close any stale interval
-		// from the previous owner at the handoff epoch.
+		// from the previous owner at the handoff epoch. A same-epoch
+		// handoff (e.Vs == st.locVs) clamps the stale interval to the
+		// single-epoch interval [Vs, Vs] — suppressing the End instead
+		// would orphan the already-emitted Start.
 		if st.locOpen {
 			if st.owner == zone && st.loc == e.Location {
 				return // duplicate of the already-open interval
@@ -111,37 +254,49 @@ func (m *Merger) apply(zone ZoneID, e event.Event) {
 		st.locOpen = true
 		st.loc = e.Location
 		st.locVs = e.Vs
+		st.missing = false
+		m.claims[e.Object] = e.Location
 		m.emit(event.NewStartLocation(e.Object, e.Location, e.Vs))
 	case event.EndLocation:
 		if st.owner != zone || !st.locOpen || st.loc != e.Location {
 			return // stale view from a zone that lost the object
 		}
 		st.locOpen = false
+		m.claims[e.Object] = e.Location
 		m.emit(event.NewEndLocation(e.Object, e.Location, st.locVs, e.Ve))
 	case event.Missing:
 		if st.owner != zone && st.owner != -1 {
 			return // only the owner may declare the object missing
 		}
+		// First reporter of an unclaimed object becomes its owner, so
+		// later duplicate alarms from other zones drop.
+		st.owner = zone
 		if st.locOpen {
 			m.emit(event.NewEndLocation(e.Object, st.loc, st.locVs, e.Vs))
 			st.locOpen = false
 		}
-		st.owner = zone
-		m.emit(event.NewMissing(e.Object, e.Location, e.Vs))
+		// Defer the alarm to the epoch barrier: another zone may claim
+		// the object later in this same epoch, which retracts it.
+		m.pending = append(m.pending, pendingMissing{obj: e.Object, from: e.Location, at: e.Vs})
 	case event.StartContainment:
+		if st.contOpen && st.container == e.Container {
+			// Same containment re-observed from a (possibly different)
+			// zone: nothing new to report, but the reporter is now the
+			// most recent observer and takes ownership.
+			st.owner = zone
+			return
+		}
 		if st.contOpen {
-			if st.container == e.Container {
-				return
-			}
 			m.emit(event.NewEndContainment(e.Object, st.container, st.contVs, e.Vs))
 		}
+		st.owner = zone
 		st.contOpen = true
 		st.container = e.Container
 		st.contVs = e.Vs
 		m.emit(event.NewStartContainment(e.Object, e.Container, e.Vs))
 	case event.EndContainment:
-		if !st.contOpen || st.container != e.Container {
-			return
+		if st.owner != zone || !st.contOpen || st.container != e.Container {
+			return // stale view from a zone that lost the object
 		}
 		st.contOpen = false
 		m.emit(event.NewEndContainment(e.Object, e.Container, st.contVs, e.Ve))
@@ -150,14 +305,17 @@ func (m *Merger) apply(zone ZoneID, e event.Event) {
 
 func (m *Merger) emit(e event.Event) { m.out = append(m.out, e) }
 
-// Close ends every open merged interval at epoch now.
+// Close resolves any deferred alarms and ends every open merged interval
+// at epoch now.
 func (m *Merger) Close(now model.Epoch) []event.Event {
+	m.out = m.out[:0]
+	m.barrier()
+	out := append([]event.Event(nil), m.out...)
 	tags := make([]model.Tag, 0, len(m.states))
 	for g := range m.states {
 		tags = append(tags, g)
 	}
-	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
-	var out []event.Event
+	slices.Sort(tags)
 	for _, g := range tags {
 		st := m.states[g]
 		if st.contOpen {

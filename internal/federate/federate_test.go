@@ -74,9 +74,13 @@ func TestOwningZoneEndAndMissingForwarded(t *testing.T) {
 	m := NewMerger()
 	var all []event.Event
 	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 1))...)
+	all = append(all, m.EndEpoch()...)
 	all = append(all, ingest(t, m, 0,
 		event.NewEndLocation(obj, locA, 1, 30),
 		event.NewMissing(obj, locA, 30))...)
+	// The alarm is deferred to the epoch barrier, where no other zone
+	// has claimed the object, so it is forwarded.
+	all = append(all, m.EndEpoch()...)
 	want := []event.Event{
 		event.NewStartLocation(obj, locA, 1),
 		event.NewEndLocation(obj, locA, 1, 30),
@@ -118,13 +122,204 @@ func TestContainmentHandoff(t *testing.T) {
 			t.Fatalf("merged = %v, want %v", all, want)
 		}
 	}
-	// A duplicate containment start is suppressed; a mismatched end is
-	// dropped.
+	// A duplicate containment start is suppressed (but transfers
+	// ownership); a mismatched end is dropped.
 	if out := ingest(t, m, 0, event.NewStartContainment(obj, caseT+1, 50)); len(out) != 0 {
 		t.Errorf("duplicate containment start must be suppressed: %v", out)
 	}
 	if out := ingest(t, m, 0, event.NewEndContainment(obj, caseT, 1, 60)); len(out) != 0 {
 		t.Errorf("mismatched containment end must be dropped: %v", out)
+	}
+}
+
+// TestContainmentStaleCloseDropped pins the ownership rules the package
+// doc promises for containment: after a handoff, the stale zone cannot
+// close the interval the new owner holds open, and the owner can.
+func TestContainmentStaleCloseDropped(t *testing.T) {
+	m := NewMerger()
+	ingest(t, m, 0, event.NewStartContainment(obj, caseT, 1))
+	// Handoff: zone 1 reports a different container; ownership moves to
+	// zone 1 and zone 0's interval is closed at the handoff epoch.
+	ingest(t, m, 1, event.NewStartContainment(obj, caseT+1, 40))
+	// Zone 0's view is stale: its attempt to close the interval zone 1
+	// now owns — with the matching container and open epoch — must drop.
+	if out := ingest(t, m, 0, event.NewEndContainment(obj, caseT+1, 40, 60)); len(out) != 0 {
+		t.Fatalf("stale zone-0 containment close must be dropped, got %v", out)
+	}
+	// The interval is still open: the owning zone can close it.
+	out := ingest(t, m, 1, event.NewEndContainment(obj, caseT+1, 40, 70))
+	want := event.NewEndContainment(obj, caseT+1, 40, 70)
+	if len(out) != 1 || out[0] != want {
+		t.Fatalf("owner close = %v, want [%v]", out, want)
+	}
+}
+
+// TestContainmentDuplicateStartTransfersOwnership pins the silent
+// ownership transfer on a same-container re-observation: the reporting
+// zone becomes the owner and may close the interval, while the previous
+// owner's close drops.
+func TestContainmentDuplicateStartTransfersOwnership(t *testing.T) {
+	m := NewMerger()
+	ingest(t, m, 0, event.NewStartContainment(obj, caseT, 1))
+	// Zone 1 re-observes the same containment: suppressed, but zone 1 is
+	// now the most recent observer and owns the object.
+	if out := ingest(t, m, 1, event.NewStartContainment(obj, caseT, 40)); len(out) != 0 {
+		t.Fatalf("same-container start must be suppressed, got %v", out)
+	}
+	if out := ingest(t, m, 0, event.NewEndContainment(obj, caseT, 1, 50)); len(out) != 0 {
+		t.Fatalf("previous owner's close must be dropped, got %v", out)
+	}
+	out := ingest(t, m, 1, event.NewEndContainment(obj, caseT, 1, 60))
+	want := event.NewEndContainment(obj, caseT, 1, 60)
+	if len(out) != 1 || out[0] != want {
+		t.Fatalf("owner close = %v, want [%v]", out, want)
+	}
+}
+
+// TestSameEpochHandoffClamped pins the semantics of a handoff arriving at
+// the same epoch the stale interval opened: the stale interval is clamped
+// to the single-epoch interval [Vs, Vs] — not suppressed, which would
+// orphan its already-emitted Start — and the merged stream stays
+// well-formed.
+func TestSameEpochHandoffClamped(t *testing.T) {
+	m := NewMerger()
+	var all []event.Event
+	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 10))...)
+	all = append(all, ingest(t, m, 1, event.NewStartLocation(obj, locB, 10))...)
+	all = append(all, m.EndEpoch()...)
+	want := []event.Event{
+		event.NewStartLocation(obj, locA, 10),
+		event.NewEndLocation(obj, locA, 10, 10),
+		event.NewStartLocation(obj, locB, 10),
+	}
+	if len(all) != len(want) {
+		t.Fatalf("merged = %v, want %v", all, want)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("event %d: got %v, want %v", i, all[i], want[i])
+		}
+	}
+	all = append(all, m.Close(11)...)
+	if err := event.CheckWellFormed(all, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same clamp for containment intervals.
+	m = NewMerger()
+	all = all[:0]
+	all = append(all, ingest(t, m, 0, event.NewStartContainment(obj, caseT, 10))...)
+	all = append(all, ingest(t, m, 1, event.NewStartContainment(obj, caseT+1, 10))...)
+	wantC := []event.Event{
+		event.NewStartContainment(obj, caseT, 10),
+		event.NewEndContainment(obj, caseT, 10, 10),
+		event.NewStartContainment(obj, caseT+1, 10),
+	}
+	if len(all) != len(wantC) {
+		t.Fatalf("merged = %v, want %v", all, wantC)
+	}
+	for i := range wantC {
+		if all[i] != wantC[i] {
+			t.Errorf("event %d: got %v, want %v", i, all[i], wantC[i])
+		}
+	}
+	all = append(all, m.Close(11)...)
+	if err := event.CheckWellFormed(all, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingRetractedAtBarrier pins the epoch barrier: a zone's Missing
+// for an object another zone claims in the same epoch is retracted, in
+// both zone ingest orders.
+func TestMissingRetractedAtBarrier(t *testing.T) {
+	// Losing zone first: the alarm is staged, then retracted when the
+	// gaining zone's Start arrives before the barrier.
+	m := NewMerger()
+	var all []event.Event
+	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 1))...)
+	all = append(all, m.EndEpoch()...)
+	all = append(all, ingest(t, m, 0,
+		event.NewEndLocation(obj, locA, 1, 50),
+		event.NewMissing(obj, locA, 50))...)
+	all = append(all, ingest(t, m, 1, event.NewStartLocation(obj, locB, 50))...)
+	if extra := m.EndEpoch(); len(extra) != 0 {
+		t.Fatalf("alarm must be retracted at the barrier, got %v", extra)
+	}
+	for _, e := range all {
+		if e.Kind == event.Missing {
+			t.Fatalf("merged stream contains a retracted alarm: %v", all)
+		}
+	}
+	all = append(all, m.Close(60)...)
+	if err := event.CheckWellFormed(all, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gaining zone first: ownership moves on the Start, so the losing
+	// zone's End and Missing are dropped as stale on arrival.
+	m = NewMerger()
+	all = all[:0]
+	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 1))...)
+	all = append(all, m.EndEpoch()...)
+	all = append(all, ingest(t, m, 1, event.NewStartLocation(obj, locB, 50))...)
+	all = append(all, ingest(t, m, 0,
+		event.NewEndLocation(obj, locA, 1, 50),
+		event.NewMissing(obj, locA, 50))...)
+	if extra := m.EndEpoch(); len(extra) != 0 {
+		t.Fatalf("stale alarm must be dropped, got %v", extra)
+	}
+	for _, e := range all {
+		if e.Kind == event.Missing {
+			t.Fatalf("merged stream contains a stale alarm: %v", all)
+		}
+	}
+	all = append(all, m.Close(60)...)
+	if err := event.CheckWellFormed(all, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingSingleAlarm pins "at most one alarm per in-transit object":
+// an unclaimed object's first Missing seizes ownership so later reports
+// from other zones drop, repeated reports from the owner latch, and a
+// reappearance re-arms the alarm.
+func TestMissingSingleAlarm(t *testing.T) {
+	m := NewMerger()
+	var all []event.Event
+	// Two zones report an object neither has ever started (e.g. both saw
+	// it before the merger's horizon). Only one alarm survives.
+	all = append(all, ingest(t, m, 0, event.NewMissing(obj, locA, 5))...)
+	all = append(all, ingest(t, m, 1, event.NewMissing(obj, locB, 5))...)
+	all = append(all, m.EndEpoch()...)
+	if len(all) != 1 || all[0] != event.NewMissing(obj, locA, 5) {
+		t.Fatalf("merged = %v, want exactly [Missing(obj, locA, 5)]", all)
+	}
+	// The owner repeating the alarm (e.g. after a zone restart) stays
+	// latched.
+	all = append(all, ingest(t, m, 0, event.NewMissing(obj, locA, 8))...)
+	all = append(all, m.EndEpoch()...)
+	if len(all) != 1 {
+		t.Fatalf("repeated alarm must latch, merged = %v", all)
+	}
+	// Reappearing clears the latch; a fresh disappearance alarms again.
+	all = append(all, ingest(t, m, 0, event.NewStartLocation(obj, locA, 20))...)
+	all = append(all, m.EndEpoch()...)
+	all = append(all, ingest(t, m, 0,
+		event.NewEndLocation(obj, locA, 20, 30),
+		event.NewMissing(obj, locA, 30))...)
+	all = append(all, m.EndEpoch()...)
+	var alarms int
+	for _, e := range all {
+		if e.Kind == event.Missing {
+			alarms++
+		}
+	}
+	if alarms != 2 {
+		t.Fatalf("want 2 alarms across 2 disappearances, merged = %v", all)
+	}
+	if err := event.CheckWellFormed(all, false); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -208,6 +403,7 @@ func TestRandomizedZonesStayWellFormed(t *testing.T) {
 				}
 				merged = append(merged, out...)
 			}
+			merged = append(merged, m.EndEpoch()...)
 		}
 		merged = append(merged, m.Close(151)...)
 		if err := event.CheckWellFormed(merged, true); err != nil {

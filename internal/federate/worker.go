@@ -1,0 +1,422 @@
+package federate
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"spire/internal/core"
+	"spire/internal/event"
+	"spire/internal/model"
+	"spire/internal/stream"
+)
+
+// ObservationSource yields one zone's per-epoch observations in epoch
+// order, returning io.EOF after the last epoch.
+type ObservationSource interface {
+	Next() (*model.Observation, error)
+}
+
+// WorkerConfig configures a zone worker.
+type WorkerConfig struct {
+	// Zone is this worker's zone ID (0-based, dense).
+	Zone ZoneID
+	// Addr is the coordinator's address (TCP host:port), used by the
+	// default dialer.
+	Addr string
+	// Dial overrides the default net.Dial("tcp", Addr); tests use it to
+	// inject pipes or failure.
+	Dial func(ctx context.Context) (net.Conn, error)
+
+	// Substrate is the zone's interpretation substrate — fresh, or
+	// restored from a checkpoint to resume.
+	Substrate *core.Substrate
+
+	// CheckpointPath, when set, enables crash recovery: the substrate is
+	// snapshotted every CheckpointEvery epochs, and the snapshot is
+	// written (atomically) once the coordinator has acked an epoch at or
+	// past it. A checkpoint on disk therefore never runs ahead of the
+	// coordinator's ack high-water mark — the invariant that makes
+	// resume exact: a restarted worker replays the deterministic epoch
+	// source from the checkpoint and re-sends precisely the epochs after
+	// the coordinator's HelloAck.
+	CheckpointPath  string
+	CheckpointEvery model.Epoch
+
+	// AckWindow bounds how many epochs the worker may run ahead of the
+	// coordinator's acks (default 64).
+	AckWindow int
+	// AckTimeout bounds the wait for an ack when the window is full
+	// (default 15s); on expiry the connection is presumed dead and
+	// redialed.
+	AckTimeout time.Duration
+
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// between connection attempts (defaults 50ms and 3s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Logf, when set, receives progress and retry diagnostics.
+	Logf func(format string, args ...any)
+}
+
+type epochBatch struct {
+	epoch  model.Epoch
+	events []event.Event
+	fin    bool
+}
+
+// Worker streams one zone substrate's compressed output to the
+// federation coordinator, with reconnection, epoch acks, and
+// checkpoint-on-ack crash recovery. Use one goroutine per worker.
+type Worker struct {
+	cfg WorkerConfig
+
+	conn  net.Conn
+	acks  chan model.Epoch
+	rderr chan error
+
+	lastAcked model.Epoch
+	buffer    []epochBatch // processed, not yet acked (epochs > lastAcked)
+
+	snapEpoch model.Epoch // epoch of the in-memory snapshot (EpochNone: none)
+	snapData  []byte
+}
+
+// NewWorker builds a worker; Run drives it.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Substrate == nil {
+		return nil, errors.New("federate: worker needs a substrate")
+	}
+	if cfg.Zone < 0 {
+		return nil, fmt.Errorf("federate: invalid zone %d", cfg.Zone)
+	}
+	if cfg.Dial == nil {
+		addr := cfg.Addr
+		if addr == "" {
+			return nil, errors.New("federate: worker needs Addr or Dial")
+		}
+		cfg.Dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 50
+	}
+	if cfg.AckWindow <= 0 {
+		cfg.AckWindow = 64
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 15 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{cfg: cfg, lastAcked: model.EpochNone, snapEpoch: model.EpochNone}, nil
+}
+
+// Run processes the source to completion: every epoch goes through the
+// substrate, and every epoch after the coordinator's ack high-water mark
+// is streamed to it. Run returns once the coordinator has acked the
+// final (Fin) epoch, or with the context's error.
+func (w *Worker) Run(ctx context.Context, src ObservationSource) error {
+	defer w.dropConn()
+
+	// A restored substrate has already processed everything up to its
+	// checkpoint epoch; the deterministic source replays those epochs and
+	// we discard them.
+	resume := w.cfg.Substrate.LastEpoch()
+	if err := w.ensureConn(ctx); err != nil {
+		return err
+	}
+
+	last := resume
+	for {
+		obs, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("federate: zone %d source: %w", w.cfg.Zone, err)
+		}
+		if obs.Time <= resume {
+			continue // replaying epochs already inside the checkpoint
+		}
+		out, err := w.cfg.Substrate.ProcessEpoch(obs)
+		if err != nil {
+			return fmt.Errorf("federate: zone %d epoch %d: %w", w.cfg.Zone, obs.Time, err)
+		}
+		last = obs.Time
+		if err := w.submit(ctx, epochBatch{epoch: obs.Time, events: out.Events}); err != nil {
+			return err
+		}
+		if (obs.Time-resume)%w.cfg.CheckpointEvery == 0 {
+			w.takeSnapshot(obs.Time)
+		}
+	}
+
+	end := last + 1
+	fin := epochBatch{epoch: end, events: w.cfg.Substrate.Close(end), fin: true}
+	if err := w.submit(ctx, fin); err != nil {
+		return err
+	}
+	// Wait for everything (including the Fin epoch) to be acked.
+	for w.lastAcked < end {
+		if err := w.awaitAck(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// submit buffers the batch, sends it, and enforces the ack window.
+func (w *Worker) submit(ctx context.Context, b epochBatch) error {
+	w.drainAcks()
+	if b.epoch <= w.lastAcked {
+		return nil // already merged before a restart; nothing to send
+	}
+	w.buffer = append(w.buffer, b)
+	if err := w.sendBatch(ctx, b); err != nil {
+		return err
+	}
+	for len(w.buffer) > w.cfg.AckWindow {
+		if err := w.awaitAck(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendBatch writes the batch, redialing until it succeeds or the context
+// ends. Reconnecting re-sends every buffered epoch the coordinator has
+// not acked (it deduplicates, so overlap is harmless).
+func (w *Worker) sendBatch(ctx context.Context, b epochBatch) error {
+	for {
+		if err := w.ensureConn(ctx); err != nil {
+			return err
+		}
+		if err := w.writeBatch(b); err == nil {
+			return nil
+		} else {
+			w.cfg.Logf("zone %d: send epoch %d: %v; reconnecting", w.cfg.Zone, b.epoch, err)
+			w.dropConn()
+		}
+	}
+}
+
+func (w *Worker) writeBatch(b epochBatch) error {
+	typ := stream.FrameEpoch
+	if b.fin {
+		typ = stream.FrameFin
+	}
+	return stream.WriteFrame(w.conn, &stream.Frame{Type: typ, Epoch: b.epoch, Events: b.events})
+}
+
+// ensureConn dials and handshakes with capped exponential backoff.
+func (w *Worker) ensureConn(ctx context.Context) error {
+	if w.conn != nil {
+		return nil
+	}
+	backoff := w.cfg.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := w.connectOnce(ctx)
+		if err == nil {
+			return nil
+		}
+		w.cfg.Logf("zone %d: connect attempt %d: %v; retrying in %v", w.cfg.Zone, attempt+1, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > w.cfg.MaxBackoff {
+			backoff = w.cfg.MaxBackoff
+		}
+	}
+}
+
+// connectOnce performs one dial + Hello/HelloAck handshake and, on
+// success, re-sends any buffered epochs past the coordinator's ack.
+func (w *Worker) connectOnce(ctx context.Context) error {
+	conn, err := w.cfg.Dial(ctx)
+	if err != nil {
+		return err
+	}
+	hello := &stream.Frame{Type: stream.FrameHello, Zone: int(w.cfg.Zone), Epoch: w.cfg.Substrate.LastEpoch()}
+	if err := stream.WriteFrame(conn, hello); err != nil {
+		conn.Close()
+		return err
+	}
+	f, err := stream.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if f.Type != stream.FrameHelloAck {
+		conn.Close()
+		return fmt.Errorf("handshake: got %s, want hello-ack", f.Type)
+	}
+	w.conn = conn
+	w.acks = make(chan model.Epoch, 64)
+	w.rderr = make(chan error, 1)
+	go readAcks(conn, w.acks, w.rderr)
+	w.handleAck(f.Epoch)
+	// Re-send whatever the coordinator is missing, oldest first.
+	for _, b := range w.buffer {
+		if err := w.writeBatch(b); err != nil {
+			w.dropConn()
+			return err
+		}
+	}
+	return nil
+}
+
+// readAcks pumps Ack frames from the connection until it fails.
+func readAcks(conn net.Conn, acks chan<- model.Epoch, rderr chan<- error) {
+	for {
+		f, err := stream.ReadFrame(conn)
+		if err != nil {
+			rderr <- err
+			return
+		}
+		if f.Type == stream.FrameAck {
+			// Acks are cumulative high-water marks, so dropping one when
+			// the buffer is full is harmless — and it keeps this goroutine
+			// from blocking forever after the worker abandons the
+			// connection.
+			select {
+			case acks <- f.Epoch:
+			default:
+			}
+		}
+	}
+}
+
+func (w *Worker) dropConn() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+		w.acks = nil
+		w.rderr = nil
+	}
+}
+
+// drainAcks applies any acks that have already arrived.
+func (w *Worker) drainAcks() {
+	if w.acks == nil {
+		return
+	}
+	for {
+		select {
+		case a := <-w.acks:
+			w.handleAck(a)
+		default:
+			return
+		}
+	}
+}
+
+// awaitAck blocks until an ack arrives (applying it), the connection
+// fails (reconnecting), or the context ends.
+func (w *Worker) awaitAck(ctx context.Context) error {
+	if err := w.ensureConn(ctx); err != nil {
+		return err
+	}
+	select {
+	case a := <-w.acks:
+		w.handleAck(a)
+		return nil
+	case err := <-w.rderr:
+		// Acks that arrived before the failure may still sit in the
+		// channel (the select picks arbitrarily among ready cases) —
+		// apply them before abandoning the connection, or a final ack
+		// delivered just ahead of the coordinator's shutdown would be
+		// lost. The caller re-checks its condition before the next
+		// awaitAck redials.
+		w.drainAcks()
+		w.cfg.Logf("zone %d: connection lost waiting for ack: %v", w.cfg.Zone, err)
+		w.dropConn()
+		return nil
+	case <-time.After(w.cfg.AckTimeout):
+		w.cfg.Logf("zone %d: no ack within %v; reconnecting", w.cfg.Zone, w.cfg.AckTimeout)
+		w.dropConn()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleAck advances the ack high-water mark, trims the replay buffer,
+// and persists any snapshot the ack has made safe to keep.
+func (w *Worker) handleAck(a model.Epoch) {
+	if a <= w.lastAcked {
+		return
+	}
+	w.lastAcked = a
+	i := 0
+	for i < len(w.buffer) && w.buffer[i].epoch <= a {
+		i++
+	}
+	w.buffer = w.buffer[i:]
+	w.persistSnapshot()
+}
+
+// takeSnapshot captures the substrate state in memory. It is written to
+// disk only once the coordinator acks an epoch at or past it, so the
+// on-disk checkpoint never outruns the merged stream.
+func (w *Worker) takeSnapshot(epoch model.Epoch) {
+	if w.cfg.CheckpointPath == "" {
+		return
+	}
+	var buf bytes.Buffer
+	if err := w.cfg.Substrate.Snapshot(&buf); err != nil {
+		w.cfg.Logf("zone %d: snapshot at epoch %d: %v", w.cfg.Zone, epoch, err)
+		return
+	}
+	w.snapEpoch = epoch
+	w.snapData = buf.Bytes()
+	// The ack may already be past us (acks can outrun snapshots when the
+	// window is deep); persist immediately in that case.
+	w.persistSnapshot()
+}
+
+// persistSnapshot writes the in-memory snapshot to disk iff the
+// coordinator's ack has reached its epoch.
+func (w *Worker) persistSnapshot() {
+	if w.cfg.CheckpointPath == "" {
+		return
+	}
+	if w.snapEpoch != model.EpochNone && w.snapEpoch <= w.lastAcked {
+		if err := writeFileAtomic(w.cfg.CheckpointPath, w.snapData); err != nil {
+			w.cfg.Logf("zone %d: checkpoint write: %v", w.cfg.Zone, err)
+			return
+		}
+		w.cfg.Logf("zone %d: checkpoint at epoch %d persisted", w.cfg.Zone, w.snapEpoch)
+		w.snapEpoch = model.EpochNone
+		w.snapData = nil
+	}
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"spire/internal/checkpoint"
 	"spire/internal/model"
@@ -41,7 +41,7 @@ func (g *Graph) EncodeState(e *checkpoint.Encoder) {
 	for t := range g.nodes {
 		tags = append(tags, t)
 	}
-	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	slices.Sort(tags)
 
 	e.Uint64(uint64(len(tags)))
 	for _, t := range tags {
@@ -69,7 +69,7 @@ func (g *Graph) EncodeState(e *checkpoint.Encoder) {
 		for p := range n.parents {
 			ptags = append(ptags, p)
 		}
-		sort.Slice(ptags, func(i, j int) bool { return ptags[i] < ptags[j] })
+		slices.Sort(ptags)
 		for _, p := range ptags {
 			ed := n.parents[p]
 			e.Uint64(uint64(ed.Parent.Tag))

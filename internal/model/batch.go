@@ -1,6 +1,9 @@
 package model
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Batch is one epoch's readings in columnar form: a single flat tags
 // column plus a reader-group directory of [Start,End) offsets into it.
@@ -112,7 +115,7 @@ func (b *Batch) FromObservation(o *Observation) *Batch {
 	for r := range o.ByReader {
 		b.Groups = append(b.Groups, ReaderGroup{Reader: r})
 	}
-	sort.Slice(b.Groups, func(i, j int) bool { return b.Groups[i].Reader < b.Groups[j].Reader })
+	slices.SortFunc(b.Groups, func(a, b ReaderGroup) int { return cmp.Compare(a.Reader, b.Reader) })
 	for i := range b.Groups {
 		g := &b.Groups[i]
 		g.Start = int32(len(b.Tags))

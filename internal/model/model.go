@@ -10,7 +10,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Tag identifies an RFID-tagged object. The packaging level is encoded in
@@ -201,7 +201,7 @@ func (o *Observation) Readings() []Reading {
 	for r := range o.ByReader {
 		readers = append(readers, r)
 	}
-	sort.Slice(readers, func(i, j int) bool { return readers[i] < readers[j] })
+	slices.Sort(readers)
 	out := make([]Reading, 0, o.Total())
 	for _, r := range readers {
 		for _, g := range o.ByReader[r] {

@@ -2,7 +2,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // World is the ground-truth state of the physical world at the current
@@ -216,7 +216,7 @@ func (w *World) Objects() []Tag {
 	for t := range w.objects {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -231,7 +231,7 @@ func (w *World) At(loc LocationID) []Tag {
 			out = append(out, t)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

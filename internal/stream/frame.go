@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// Frame protocol for the distributed deployment: a zone worker streams
+// its substrate's per-epoch compressed output to the federation
+// coordinator over a byte stream (TCP in production, any net.Conn in
+// tests) as length-prefixed frames.
+//
+// The conversation is:
+//
+//	worker → Hello{Zone, Epoch: last epoch the worker has processed}
+//	coord  → HelloAck{Epoch: last epoch the coordinator acked this zone}
+//	worker → Epoch{Epoch, Events}        (one per epoch, possibly empty)
+//	coord  → Ack{Epoch}                  (after the epoch barrier merges it)
+//	worker → Fin{Epoch, Events}          (closing events, emitted at Epoch)
+//	coord  → Ack{Epoch}                  (final ack)
+//
+// The handshake carries the resume protocol: a reconnecting worker
+// learns the coordinator's ack high-water mark and re-sends exactly the
+// epochs after it, so a crash between send and ack neither loses nor
+// duplicates merged events.
+
+// FrameType discriminates the frames of the zone↔coordinator protocol.
+type FrameType uint8
+
+// The frame types, in handshake order.
+const (
+	FrameHello FrameType = iota + 1
+	FrameHelloAck
+	FrameEpoch
+	FrameAck
+	FrameFin
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameHelloAck:
+		return "hello-ack"
+	case FrameEpoch:
+		return "epoch"
+	case FrameAck:
+		return "ack"
+	case FrameFin:
+		return "fin"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Frame is one protocol message. Zone is meaningful for Hello; Epoch for
+// every type (Hello: last processed, HelloAck/Ack: acked epoch, Epoch:
+// the batch's epoch, Fin: the epoch the closing events end at); Events
+// for Epoch and Fin.
+type Frame struct {
+	Type   FrameType
+	Zone   int
+	Epoch  model.Epoch
+	Events []event.Event
+}
+
+// MaxFramePayload bounds a frame's encoded payload; a peer announcing
+// more is corrupt (or hostile) and the reader fails fast instead of
+// allocating unbounded memory.
+const MaxFramePayload = 1 << 26
+
+// WriteFrame encodes f as [uint32 length][type][body] and writes it.
+func WriteFrame(w io.Writer, f *Frame) error {
+	body := make([]byte, 0, 64)
+	body = append(body, byte(f.Type))
+	switch f.Type {
+	case FrameHello:
+		body = binary.BigEndian.AppendUint32(body, uint32(f.Zone))
+		body = binary.BigEndian.AppendUint64(body, uint64(f.Epoch))
+	case FrameHelloAck, FrameAck:
+		body = binary.BigEndian.AppendUint64(body, uint64(f.Epoch))
+	case FrameEpoch, FrameFin:
+		body = binary.BigEndian.AppendUint64(body, uint64(f.Epoch))
+		body = binary.BigEndian.AppendUint32(body, uint32(len(f.Events)))
+		var err error
+		for _, e := range f.Events {
+			if body, err = event.Append(body, e); err != nil {
+				return fmt.Errorf("stream: encode %s frame: %w", f.Type, err)
+			}
+		}
+	default:
+		return fmt.Errorf("stream: unknown frame type %d", f.Type)
+	}
+	if len(body) > MaxFramePayload {
+		return fmt.Errorf("stream: %s frame payload %d exceeds limit", f.Type, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads and decodes one frame. io.EOF at a frame boundary is
+// returned as-is; a partial frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("stream: frame payload %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if len(body) < 1 {
+		return nil, fmt.Errorf("stream: empty frame")
+	}
+	f := &Frame{Type: FrameType(body[0])}
+	body = body[1:]
+	need := func(n int) error {
+		if len(body) < n {
+			return fmt.Errorf("stream: truncated %s frame", f.Type)
+		}
+		return nil
+	}
+	switch f.Type {
+	case FrameHello:
+		if err := need(12); err != nil {
+			return nil, err
+		}
+		f.Zone = int(int32(binary.BigEndian.Uint32(body)))
+		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body[4:]))
+	case FrameHelloAck, FrameAck:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body))
+	case FrameEpoch, FrameFin:
+		if err := need(12); err != nil {
+			return nil, err
+		}
+		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body))
+		count := int(binary.BigEndian.Uint32(body[8:]))
+		body = body[12:]
+		f.Events = make([]event.Event, 0, count)
+		for i := 0; i < count; i++ {
+			e, n, err := event.Decode(body)
+			if err != nil {
+				return nil, fmt.Errorf("stream: %s frame event %d: %w", f.Type, i, err)
+			}
+			f.Events = append(f.Events, e)
+			body = body[n:]
+		}
+		if len(body) != 0 {
+			return nil, fmt.Errorf("stream: %s frame has %d trailing bytes", f.Type, len(body))
+		}
+	default:
+		return nil, fmt.Errorf("stream: unknown frame type %d", uint8(f.Type))
+	}
+	return f, nil
+}

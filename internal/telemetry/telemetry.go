@@ -25,7 +25,7 @@ package telemetry
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -221,7 +221,7 @@ func renderLabels(kv []string) string {
 	for i := 0; i < len(kv); i += 2 {
 		pairs = append(pairs, pair{kv[i], kv[i+1]})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	slices.SortFunc(pairs, func(a, b pair) int { return strings.Compare(a.k, b.k) })
 	var b strings.Builder
 	for i, p := range pairs {
 		if i > 0 {
@@ -275,7 +275,7 @@ func (r *Registry) lookup(name, help string, kind metricKind, buckets []float64,
 		c.gauge = &Gauge{}
 	case kindHistogram:
 		h := &Histogram{bounds: append([]float64(nil), f.buckets...)}
-		if !sort.Float64sAreSorted(h.bounds) {
+		if !slices.IsSorted(h.bounds) {
 			panic(fmt.Sprintf("telemetry: %s bucket bounds not sorted", name))
 		}
 		h.counts = make([]atomic.Uint64, len(h.bounds)+1)
@@ -350,12 +350,12 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		fams = append(fams, f)
 	}
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	slices.SortFunc(fams, func(a, b *family) int { return strings.Compare(a.name, b.name) })
 
 	var out []MetricSnapshot
 	for _, f := range fams {
 		children := append([]*child(nil), f.children...)
-		sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+		slices.SortFunc(children, func(a, b *child) int { return strings.Compare(a.labels, b.labels) })
 		for _, c := range children {
 			m := MetricSnapshot{Name: f.name, Labels: c.labels, Help: f.help, Type: f.kind.String()}
 			switch f.kind {

@@ -32,7 +32,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -473,7 +473,7 @@ func (rec *Recorder) TracedTags() []model.Tag {
 		out = append(out, g)
 	}
 	rec.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
