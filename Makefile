@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-infer bench-ingest bench-json bench-check cover experiments experiments-full tools clean
+.PHONY: all build test race bench bench-infer bench-ingest bench-cep bench-json bench-check cover experiments experiments-full tools clean
 
 all: build test
 
@@ -32,6 +32,14 @@ bench-infer:
 bench-ingest:
 	go run ./cmd/spirebench -quick -expt bench-ingest -json BENCH_ingest.json
 	go test -run '^$$' -bench 'BenchmarkIngest' -benchmem ./internal/stream/ ./internal/dedup/ ./internal/graph/
+
+# Subscription-engine quality and dispatch cost: the cep experiment
+# (detector P/R/F1 vs reader dropout) and cep-perf (s/Mevent idle and at
+# 1k/10k subscriptions), plus the Go dispatch benchmarks. spirebenchdiff
+# gates the idle and 10k dispatch keys via bench-check's -expt all run.
+bench-cep:
+	go run ./cmd/spirebench -quick -expt cep,cep-perf
+	go test -run '^$$' -bench 'BenchmarkCEPDispatch' -benchmem ./internal/cep/
 
 # Quick-scale experiment tables plus a machine-readable snapshot, for
 # tracking headline metrics across revisions.

@@ -54,17 +54,27 @@ import (
 	"os/signal"
 	"syscall"
 
+	"strings"
+
+	"spire/internal/cep"
 	"spire/internal/core"
 	"spire/internal/epc"
 	"spire/internal/event"
 	"spire/internal/httpapi"
 	"spire/internal/inference"
 	"spire/internal/model"
+	"spire/internal/query"
 	"spire/internal/sim"
 	"spire/internal/stream"
 	"spire/internal/telemetry"
 	"spire/internal/trace"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ", ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	if err := run(); err != nil {
@@ -107,6 +117,8 @@ func run() error {
 		traceDump   = flag.String("trace-dump", "", "write the flight recorder and provenance records as JSONL to this file at exit")
 		logSpec     = flag.String("log-level", "", "log level (debug|info|warn|error), optionally per component: 'warn,ingest=debug'")
 	)
+	var subscribePatterns multiFlag
+	flag.Var(&subscribePatterns, "subscribe", "register a complex-event subscription pattern, e.g. 'SEQ(missing(), NOT start()) WITHIN 120' (repeatable); matches log as they fire, and -metrics-addr additionally serves /v1/subscriptions")
 	flag.Parse()
 	logging, err := trace.NewLogging(os.Stderr, *logSpec)
 	if err != nil {
@@ -201,6 +213,30 @@ func run() error {
 		}
 	}()
 
+	// Subscriptions are opt-in like telemetry and tracing: the engine
+	// rides the watcher hook behind the substrate, so with no -subscribe
+	// flag the pipeline output stays byte-identical and unwatched.
+	var engine *cep.Engine
+	if len(subscribePatterns) > 0 {
+		engine = cep.NewEngine(cep.Config{})
+		logCEP := logging.Component("cep")
+		for _, p := range subscribePatterns {
+			id, err := engine.SubscribeFunc(p, func(m cep.Match) {
+				logCEP.Info("match", "sub", m.Sub, "object", m.Object, "start", m.Start, "at", m.At)
+			})
+			if err != nil {
+				return fmt.Errorf("-subscribe %q: %w", p, err)
+			}
+			logCEP.Info("subscribed", "id", id, "pattern", p)
+		}
+		if reg != nil {
+			engine.Instrument(reg)
+		}
+		w := query.NewWatcher()
+		engine.Attach(w)
+		sub.Watch(w)
+	}
+
 	if *metricsAddr != "" || *pprofFlag {
 		addr := *metricsAddr
 		if addr == "" {
@@ -212,6 +248,9 @@ func run() error {
 		}
 		if rec != nil {
 			h.EnableTrace(rec)
+		}
+		if engine != nil {
+			h.EnableCEP(engine)
 		}
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
@@ -310,6 +349,14 @@ func run() error {
 		"epochs", st.Epochs, "readings", st.Readings, "raw_bytes", st.RawBytes,
 		"events", st.Events, "event_bytes", st.EventBytes, "ratio", ratio,
 		"update", st.UpdateTime, "inference", st.InferenceTime)
+	if engine != nil {
+		logCEP := logging.Component("cep")
+		for _, sst := range engine.Subscriptions() {
+			logCEP.Info("subscription summary",
+				"id", sst.ID, "pattern", sst.Pattern,
+				"matches", sst.Matches, "dropped", sst.Dropped, "evicted", sst.Evicted)
+		}
+	}
 	if ingestPolicy != core.IngestStrict {
 		ist := runner.IngestStats()
 		logging.Component("ingest").Info("ingest summary",

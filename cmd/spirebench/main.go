@@ -223,6 +223,35 @@ func headline(exps []benchExperiment) map[string]float64 {
 						h["ingest_update_s_per_mread"] = r.Values[1]
 					}
 				}
+			case "cep":
+				// Detector quality across the dropout sweep: F1 on the
+				// clean trace and at the heaviest dropout, per detector.
+				// Quality keys are informational here; the unit tests
+				// assert the floors exactly.
+				for _, det := range []string{"theft", "misroute", "cold"} {
+					if v, ok := cell(t, "none "+det, "F1"); ok {
+						h["cep_"+det+"_f1"] = v
+					}
+					if v, ok := cell(t, "60x12 "+det, "F1"); ok {
+						h["cep_"+det+"_f1_dropout"] = v
+					}
+				}
+			case "cep-perf":
+				// Gate dispatch cost (larger is worse) idle and at 10k
+				// subscriptions; the 1k row is recorded for the curve.
+				for _, r := range t.Rows {
+					if len(r.Values) != 2 {
+						continue
+					}
+					switch r.Label {
+					case "BenchmarkCEPDispatchIdle":
+						h["cep_dispatch_idle_s_per_mevent"] = r.Values[1]
+					case "BenchmarkCEPDispatch1kSubs":
+						h["cep_dispatch_1k_s_per_mevent"] = r.Values[1]
+					case "BenchmarkCEPDispatch10kSubs":
+						h["cep_dispatch_10k_s_per_mevent"] = r.Values[1]
+					}
+				}
 			case "infercomp":
 				if len(last.Values) == 5 {
 					h["infercomp_serial_s"] = last.Values[0]

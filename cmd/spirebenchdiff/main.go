@@ -51,6 +51,13 @@ var gatedKeys = []string{
 	// informational — they depend on the host's idle core count.
 	"zones_single_s_per_mread",
 	"zones_merge_s_per_mevent",
+	// Subscription-engine dispatch: seconds per million events with no
+	// subscriptions (the observer overhead every watched deployment pays)
+	// and at 10k subscriptions (the dense per-object alerting load). Both
+	// single-threaded under the engine mutex. The detector F1 keys
+	// (cep_*_f1) are informational — the unit tests assert their floors.
+	"cep_dispatch_idle_s_per_mevent",
+	"cep_dispatch_10k_s_per_mevent",
 }
 
 type report struct {

@@ -11,6 +11,14 @@
 //	spirequery -events events.bin -path 7696581394433
 //	spirequery -events events.bin -missing-at 900
 //	spirequery -events events.bin -loc 2 -at 500
+//
+// -watch replays the stream through the complex-event engine of
+// internal/cep and prints each match as it completes, reconstructing
+// the dispatch clock from the events themselves (start and Missing
+// messages fire at Vs, end messages at Ve). Windows still open when
+// the stream ends are reported as pending, not matched.
+//
+//	spirequery -events events.bin -watch 'SEQ(missing(), NOT start()) WITHIN 60'
 package main
 
 import (
@@ -19,7 +27,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 
+	"spire/internal/cep"
 	"spire/internal/compress"
 	"spire/internal/epc"
 	"spire/internal/event"
@@ -28,6 +38,29 @@ import (
 	"spire/internal/model"
 	"spire/internal/query"
 )
+
+// multiFlag collects repeated occurrences of a string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// dispatchEpoch reconstructs the epoch a stored event was dispatched in:
+// start and Missing messages are emitted when the interval opens, end
+// messages when it closes. The live pipeline dispatches in this order,
+// so replaying with these epochs reproduces the watcher's clock.
+func dispatchEpoch(e event.Event) model.Epoch {
+	switch e.Kind {
+	case event.EndLocation, event.EndContainment:
+		return e.Ve
+	default:
+		return e.Vs
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -50,7 +83,26 @@ func run() error {
 		loc        = flag.Int64("loc", -1, "location id for -at occupancy queries")
 		serve      = flag.String("serve", "", "serve the loaded stream over HTTP on this address (e.g. :8080)")
 	)
+	var watch multiFlag
+	flag.Var(&watch, "watch", "replay the stream through this complex-event pattern and print matches (repeatable)")
 	flag.Parse()
+
+	var engine *cep.Engine
+	var clock model.Epoch
+	matches := 0
+	if len(watch) > 0 {
+		engine = cep.NewEngine(cep.Config{})
+		for _, p := range watch {
+			id, err := engine.SubscribeFunc(p, func(m cep.Match) {
+				matches++
+				fmt.Printf("match sub=%d object=%s start=%d at=%d\n", m.Sub, name(m.Object), m.Start, m.At)
+			})
+			if err != nil {
+				return fmt.Errorf("-watch %q: %w", p, err)
+			}
+			fmt.Fprintf(os.Stderr, "spirequery: watching [%d] %s\n", id, p)
+		}
+	}
 
 	store := query.NewStore()
 	var dec *compress.Decompressor
@@ -63,7 +115,15 @@ func run() error {
 			if err != nil {
 				return err
 			}
+			if engine != nil {
+				for _, o := range out {
+					watchEvent(engine, &clock, o)
+				}
+			}
 			return store.Feed(out...)
+		}
+		if engine != nil {
+			watchEvent(engine, &clock, e)
 		}
 		return store.Feed(e)
 	}
@@ -96,12 +156,24 @@ func run() error {
 		return fmt.Errorf("one of -events or -log is required")
 	}
 
+	if engine != nil {
+		// Resolve windows that closed by the last reconstructed epoch;
+		// anything still open is pending, not matched.
+		engine.Epoch(clock, nil)
+		pendingRuns := 0
+		for _, st := range engine.Subscriptions() {
+			pendingRuns += st.Runs
+		}
+		fmt.Fprintf(os.Stderr, "spirequery: watch replay done: %d matches, %d windows still open at epoch %d\n",
+			matches, pendingRuns, clock)
+	}
+
 	if *serve != "" {
 		fmt.Fprintf(os.Stderr, "spirequery: serving %d events over http on %s\n", store.Events(), *serve)
 		return http.ListenAndServe(*serve, httpapi.New(store, nil))
 	}
 
-	ran := false
+	ran := engine != nil
 	if *summary {
 		ran = true
 		fmt.Printf("events: %d, objects: %d\n", store.Events(), len(store.Objects()))
@@ -159,6 +231,17 @@ func run() error {
 		return fmt.Errorf("no query requested (try -summary)")
 	}
 	return nil
+}
+
+// watchEvent feeds one stored event into the engine at its reconstructed
+// dispatch epoch. The clock only moves forward: a closing interval can
+// carry a Ve older than epochs already replayed, and the engine clock is
+// monotonic like the live watcher's.
+func watchEvent(e *cep.Engine, clock *model.Epoch, ev event.Event) {
+	if t := dispatchEpoch(ev); t > *clock {
+		*clock = t
+	}
+	e.Epoch(*clock, []event.Event{ev})
 }
 
 func name(g model.Tag) string {

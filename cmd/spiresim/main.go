@@ -28,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"spire/internal/cep"
 	"spire/internal/httpapi"
 	"spire/internal/model"
 	"spire/internal/sim"
@@ -44,6 +46,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spiresim:", err)
 		os.Exit(1)
 	}
+}
+
+// multiFlag collects repeated occurrences of a string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 func run() error {
@@ -62,6 +74,12 @@ func run() error {
 		shelves = flag.Int("shelves", cfg.NumShelves, "number of shelf locations")
 		shelfT  = flag.Int64("shelf-time", int64(cfg.ShelfTime), "mean shelving duration in epochs")
 		theft   = flag.Int64("theft-interval", int64(cfg.TheftInterval), "epochs between thefts (0 = none)")
+		misrt   = flag.Int64("misroute-interval", int64(cfg.MisrouteInterval), "epochs between misroutes — cases diverted off outbound pallets (0 = none)")
+		coldP   = flag.Int("cold-case-period", cfg.ColdCasePeriod, "every Nth injected case is cold-chain cargo on the cold shelf (0 = none)")
+		excI    = flag.Int64("excursion-interval", int64(cfg.ExcursionInterval), "epochs between cold-chain excursions (0 = none; needs -cold-case-period)")
+		excD    = flag.Int64("excursion-dwell", int64(cfg.ExcursionDwell), "epochs an excursed cold case dwells on a warm shelf")
+		shufI   = flag.Int64("cold-shuffle-interval", int64(cfg.ColdShuffleInterval), "epochs between benign cold-case shuffles (0 = none; needs -cold-case-period)")
+		shufD   = flag.Int64("cold-shuffle-dwell", int64(cfg.ColdShuffleDwell), "epochs a shuffled cold case dwells on a warm shelf")
 		inferW  = flag.Int("infer-workers", 0, "accepted for symmetry with cmd/spire; the generator runs no inference, so this does not affect the stream")
 		ingestW = flag.Int("ingest-workers", 0, "accepted for symmetry with cmd/spire; the generator runs no ingest pipeline, so this does not affect the stream")
 
@@ -73,6 +91,8 @@ func run() error {
 		traceDump   = flag.String("trace-dump", "", "write the flight recorder as JSONL to this file at exit")
 		logSpec     = flag.String("log-level", "", "log level (debug|info|warn|error), optionally per component: 'warn,metrics=debug'")
 	)
+	var subscribePatterns multiFlag
+	flag.Var(&subscribePatterns, "subscribe", "accepted for symmetry with cmd/spire: patterns are validated, but the generator runs no interpretation, so nothing matches here — pipe the stream into spire -subscribe instead")
 	flag.Parse()
 	logging, err := trace.NewLogging(os.Stderr, *logSpec)
 	if err != nil {
@@ -96,6 +116,17 @@ func run() error {
 	cfg.NumShelves = *shelves
 	cfg.ShelfTime = model.Epoch(*shelfT)
 	cfg.TheftInterval = model.Epoch(*theft)
+	cfg.MisrouteInterval = model.Epoch(*misrt)
+	cfg.ColdCasePeriod = *coldP
+	cfg.ExcursionInterval, cfg.ExcursionDwell = model.Epoch(*excI), model.Epoch(*excD)
+	cfg.ColdShuffleInterval, cfg.ColdShuffleDwell = model.Epoch(*shufI), model.Epoch(*shufD)
+
+	for _, p := range subscribePatterns {
+		if err := cep.Validate(p); err != nil {
+			return fmt.Errorf("-subscribe %q: %w", p, err)
+		}
+		logMain.Warn("pattern accepted but the generator runs no interpretation; pipe into spire -subscribe to match it", "pattern", p)
+	}
 
 	s, err := sim.New(cfg)
 	if err != nil {
@@ -229,7 +260,9 @@ func run() error {
 	if !*quiet {
 		logMain.Info("generation complete",
 			"epochs", s.Now(), "readings", w.Count(), "bytes", w.Bytes(),
-			"thefts", len(s.Thefts()), "peak_population", s.SteadyStateCount(),
+			"thefts", len(s.Thefts()), "misroutes", len(s.Misroutes()),
+			"excursions", len(s.Excursions()), "cold_shuffles", len(s.ColdShuffles()),
+			"peak_population", s.SteadyStateCount(),
 			"interrupted", interrupted)
 	}
 	return nil

@@ -1,0 +1,105 @@
+package cep
+
+import (
+	"fmt"
+	"testing"
+
+	"spire/internal/epc"
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// benchTags builds a deterministic case population for the dispatch
+// benchmarks.
+func benchTags(n int) []model.Tag {
+	seq, err := epc.NewSequencer(7)
+	if err != nil {
+		panic(err)
+	}
+	tags := make([]model.Tag, n)
+	for i := range tags {
+		g, err := seq.Next(model.LevelCase)
+		if err != nil {
+			panic(err)
+		}
+		tags[i] = g
+	}
+	return tags
+}
+
+// benchStream synthesizes an epoch-batched stream shaped like the
+// pipeline's output: location churn across a shelf range, containment
+// open/close pairs, and periodic missing reports over a rotating case
+// population. Deterministic, no rng.
+func benchStream(epochs int, tags []model.Tag) (batches [][]event.Event, times []model.Epoch, total int) {
+	for e := 1; e <= epochs; e++ {
+		now := model.Epoch(e)
+		var evs []event.Event
+		for k := 0; k < 4; k++ {
+			g := tags[(e*4+k)%len(tags)]
+			loc := model.LocationID(2 + (e+k)%8)
+			evs = append(evs,
+				event.NewEndLocation(g, loc, now-3, now),
+				event.NewStartLocation(g, loc+1, now),
+			)
+		}
+		if e%3 == 0 {
+			g := tags[(e*7)%len(tags)]
+			evs = append(evs, event.NewMissing(g, model.LocationID(2+e%8), now))
+		}
+		if e%5 == 0 {
+			g := tags[(e*11)%len(tags)]
+			c := tags[(e*11+1)%len(tags)]
+			evs = append(evs,
+				event.NewStartContainment(g, c, now),
+				event.NewEndContainment(g, c, now-1, now),
+			)
+		}
+		batches = append(batches, evs)
+		times = append(times, now)
+		total += len(evs)
+	}
+	return batches, times, total
+}
+
+// benchDispatch drives the engine over the synthetic stream with the
+// given per-object alerting load, reporting ns/event. The clock shifts
+// each full pass so windows keep expiring and the measurement includes
+// steady-state run turnover.
+func benchDispatch(b *testing.B, subs int) {
+	tags := benchTags(512)
+	e := NewEngine(Config{})
+	for i := 0; i < subs; i++ {
+		g := tags[i%len(tags)]
+		var src string
+		if i%2 == 0 {
+			src = fmt.Sprintf("SEQ(missing() & tag(%d), NOT start()) WITHIN 60", g)
+		} else {
+			src = fmt.Sprintf("SEQ(start() & tag(%d) & level(case), NOT end()) WITHIN 80", g)
+		}
+		if _, err := e.Subscribe(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batches, times, _ := benchStream(256, tags)
+	span := times[len(times)-1] + 1
+	var offset model.Epoch
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % len(batches)
+		e.Epoch(times[idx]+offset, batches[idx])
+		events += int64(len(batches[idx]))
+		if idx == len(batches)-1 {
+			offset += span
+		}
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
+}
+
+func BenchmarkCEPDispatchIdle(b *testing.B)    { benchDispatch(b, 0) }
+func BenchmarkCEPDispatch1kSubs(b *testing.B)  { benchDispatch(b, 1_000) }
+func BenchmarkCEPDispatch10kSubs(b *testing.B) { benchDispatch(b, 10_000) }

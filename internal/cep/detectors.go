@@ -1,0 +1,69 @@
+package cep
+
+import (
+	"fmt"
+
+	"spire/internal/model"
+)
+
+// Layout names the warehouse geography the built-in detectors reference.
+// cmd binaries and experiments fill it from the simulator's accessors (or
+// a real deployment's location table).
+type Layout struct {
+	// ShelfFirst..ShelfLast is the contiguous shelf location range.
+	ShelfFirst, ShelfLast model.LocationID
+	// InboundFirst..InboundLast is the contiguous arrival range (entry
+	// door, receiving belt) that newly unpacked cases pass through.
+	InboundFirst, InboundLast model.LocationID
+	// Packaging is where outbound pallets are assembled.
+	Packaging model.LocationID
+	// ColdShelf is the cold-zone shelf (cold-chain detector only).
+	ColdShelf model.LocationID
+	// ColdCompany is the EPC company prefix of cold-chain cargo.
+	ColdCompany uint32
+}
+
+// TheftPattern detects the paper's Expt 4 anomaly in the pattern
+// language: a case is reported missing and then never surfaces anywhere
+// for a whole window. Re-sighted cases (dropout bursts, transit gaps)
+// kill the run via the trailing NOT; stolen cases never produce another
+// StartLocation, so the absence completes at the window end. The window
+// trades precision against detection delay: it must outlast a dropout
+// burst plus a shelf-reader cycle, or transiently missing cases alarm.
+func TheftPattern(window model.Epoch) string {
+	return fmt.Sprintf("SEQ(missing() & level(case), NOT start()) WITHIN %d", window)
+}
+
+// MisroutePattern detects a case diverted off its outbound pallet. The
+// anchor is the containment signal, which the interpretation layer gets
+// right even when location inference wobbles: a case leaving its pallet
+// (uncontain) and surfacing on a shelf was pulled out of an outbound
+// shipment. The two legitimate uncontain sites are excluded structurally
+// — arriving cases pass the inbound range first (the NOT kills those
+// runs), and cases retired at the exit never produce another shelf
+// sighting. Anchoring on location instead (packaging → shelf) is
+// tempting but fragile: cases awaiting pallet assembly flap between
+// their shelf and their packed buddies' location in the inferred stream,
+// manufacturing false packaging→shelf transitions. The window only needs
+// to cover the shelf readers' detection lag.
+func MisroutePattern(l Layout, window model.Epoch) string {
+	return fmt.Sprintf("SEQ(uncontain() & level(case), NOT start(%d..%d), start(%d..%d)) WITHIN %d",
+		l.InboundFirst, l.InboundLast, l.ShelfFirst, l.ShelfLast, window)
+}
+
+// ColdChainPattern detects a cold-chain excursion: cold cargo (identified
+// by its EPC company prefix) surfaces on a warm shelf and is not back in
+// the cold zone within the window. Brief benign relocations are resighted
+// at the cold shelf inside the window and kill the run; dwells exceeding
+// the window alarm at the window end.
+func ColdChainPattern(l Layout, window model.Epoch) string {
+	warmFirst, warmLast := l.ShelfFirst, l.ShelfLast
+	if l.ColdShelf == warmFirst {
+		warmFirst++
+	} else if l.ColdShelf == warmLast {
+		warmLast--
+	}
+	return fmt.Sprintf(
+		"SEQ(start(%d..%d) & level(case) & company(%d), NOT start(%d)) WITHIN %d",
+		warmFirst, warmLast, l.ColdCompany, l.ColdShelf, window)
+}

@@ -1,0 +1,588 @@
+package cep
+
+import (
+	"sync"
+
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// Config bounds per-subscription engine state.
+type Config struct {
+	// MaxRuns caps the active (partial-match) runs a subscription may
+	// hold; exceeding it evicts the oldest run. 0 selects DefaultMaxRuns.
+	MaxRuns int
+	// MaxMatches caps a subscription's match buffer; exceeding it drops
+	// the oldest match and increments the drop counter (drop-oldest
+	// backpressure). 0 selects DefaultMaxMatches.
+	MaxMatches int
+}
+
+// Default state bounds: generous enough for the warehouse detectors,
+// small enough that a hostile pattern (e.g. any() anchoring a run on
+// every event) cannot grow engine state with the stream.
+const (
+	DefaultMaxRuns    = 256
+	DefaultMaxMatches = 1024
+)
+
+// Match is one completed pattern instance.
+type Match struct {
+	Sub    int         `json:"sub"`
+	Object model.Tag   `json:"object"`
+	Start  model.Epoch `json:"start"` // epoch of the first positive step
+	At     model.Epoch `json:"at"`    // completion epoch
+}
+
+// SubStats is the accounting snapshot of one subscription.
+type SubStats struct {
+	ID      int    `json:"id"`
+	Pattern string `json:"pattern"`
+	Runs    int    `json:"runs"`    // active partial matches
+	Matches uint64 `json:"matches"` // total matches ever
+	Buffer  int    `json:"buffer"`  // matches currently buffered
+	Dropped uint64 `json:"dropped"` // matches dropped by backpressure
+	Evicted uint64 `json:"evicted"` // runs evicted by the cap
+}
+
+// run is one active partial match. Runs are linked into two intrusive
+// lists — the per-object list event processing walks, and the
+// per-subscription list (creation order) the cap evicts from — plus at
+// most one deadline-heap slot. Dead runs are unlinked immediately but may
+// linger in the heap until popped; they are recycled through the free
+// list once no structure references them.
+type run struct {
+	sub *subscription
+	obj model.Tag
+
+	t1       model.Epoch
+	deadline model.Epoch // InfiniteEpoch when the pattern is unbounded
+	idx      int         // next unsatisfied step
+	binds    [MaxSteps]binding
+
+	dead   bool
+	inHeap bool
+
+	objPrev, objNext *run
+	subPrev, subNext *run
+	free             *run
+}
+
+type subscription struct {
+	id   int
+	pat  *Pattern
+	fn   func(Match) // optional live-match callback
+	dead bool
+
+	// Creation-order run list: head is the oldest (the eviction victim).
+	runHead, runTail *run
+	nrun             int
+
+	// Bounded match ring.
+	ring    []Match
+	rstart  int
+	rlen    int
+	total   uint64
+	dropped uint64
+	evicted uint64
+}
+
+// Engine evaluates subscriptions incrementally over the output event
+// stream. All methods are safe for concurrent use (one mutex): the
+// pipeline loop feeds epochs while HTTP handlers subscribe and read
+// matches.
+type Engine struct {
+	mu      sync.Mutex
+	cfg     Config
+	now     model.Epoch
+	subs    map[int]*subscription
+	nextID  int
+	deadSub int
+
+	// byKind indexes live subscriptions by the kinds their first step can
+	// match, so an event only touches subscriptions it could anchor.
+	// Entries for dead subscriptions are skipped lazily and compacted when
+	// they outnumber the live ones.
+	byKind [6][]*subscription
+
+	objRuns map[model.Tag]*run // head of the per-object run list
+	heap    []*run             // min-heap on deadline
+	freeRun *run
+	nrun    int
+
+	tel *Instruments
+
+	// testEvict observes cap evictions (oldest-run property test): the
+	// evicted run's anchor epoch and the oldest retained run's.
+	testEvict func(evicted, oldestRetained model.Epoch)
+}
+
+// NewEngine builds an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = DefaultMaxRuns
+	}
+	if cfg.MaxMatches <= 0 {
+		cfg.MaxMatches = DefaultMaxMatches
+	}
+	return &Engine{
+		cfg:     cfg,
+		subs:    make(map[int]*subscription),
+		objRuns: make(map[model.Tag]*run),
+	}
+}
+
+// Subscribe parses src and registers it, returning the subscription id.
+func (e *Engine) Subscribe(src string) (int, error) {
+	return e.SubscribeFunc(src, nil)
+}
+
+// SubscribeFunc additionally registers a callback invoked inline (under
+// the engine lock, on the dispatching goroutine) for every match.
+func (e *Engine) SubscribeFunc(src string, fn func(Match)) (int, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	s := &subscription{id: e.nextID, pat: p, fn: fn}
+	e.subs[s.id] = s
+	for k := event.StartLocation; k <= event.Missing; k++ {
+		if p.Steps[0].Kinds.Has(k) {
+			e.byKind[k] = append(e.byKind[k], s)
+		}
+	}
+	if e.tel != nil {
+		e.tel.Subs.Set(int64(len(e.subs)))
+	}
+	return s.id, nil
+}
+
+// Unsubscribe removes a subscription and frees its runs; unknown ids are
+// ignored.
+func (e *Engine) Unsubscribe(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.subs[id]
+	if !ok {
+		return
+	}
+	delete(e.subs, id)
+	s.dead = true
+	e.deadSub++
+	for r := s.runHead; r != nil; {
+		next := r.subNext
+		e.killRun(r)
+		r = next
+	}
+	// Compact the kind index once dead entries dominate, so subscription
+	// churn cannot grow it without bound.
+	if e.deadSub > len(e.subs)+16 {
+		for k := range e.byKind {
+			live := e.byKind[k][:0]
+			for _, s := range e.byKind[k] {
+				if !s.dead {
+					live = append(live, s)
+				}
+			}
+			// Clear the tail so dead subscriptions are collectable.
+			for i := len(live); i < len(e.byKind[k]); i++ {
+				e.byKind[k][i] = nil
+			}
+			e.byKind[k] = live
+		}
+		e.deadSub = 0
+	}
+	if e.tel != nil {
+		e.tel.Subs.Set(int64(len(e.subs)))
+		e.tel.Runs.Set(int64(e.nrun))
+	}
+}
+
+// Epoch advances the engine clock to now, processes the epoch's events in
+// stream order, and resolves the runs whose windows closed. The clock
+// must not go backwards; events carry the epoch they were dispatched in.
+func (e *Engine) Epoch(now model.Epoch, events []event.Event) {
+	e.mu.Lock()
+	if now > e.now {
+		e.now = now
+	}
+	for i := range events {
+		e.process(e.now, events[i])
+	}
+	e.expire(e.now)
+	e.mu.Unlock()
+}
+
+// BeginEpoch, OnEvent and EndEpoch are the query.Watcher-shaped entry
+// points (see Attach in watch.go): BeginEpoch sets the clock, OnEvent
+// processes one dispatched event, EndEpoch resolves closed windows.
+func (e *Engine) BeginEpoch(now model.Epoch) {
+	e.mu.Lock()
+	if now > e.now {
+		e.now = now
+	}
+	e.mu.Unlock()
+}
+
+// OnEvent processes one event at the current clock.
+func (e *Engine) OnEvent(ev event.Event) {
+	e.mu.Lock()
+	e.process(e.now, ev)
+	e.mu.Unlock()
+}
+
+// EndEpoch resolves runs whose windows closed at or before now.
+func (e *Engine) EndEpoch(now model.Epoch) {
+	e.mu.Lock()
+	if now > e.now {
+		e.now = now
+	}
+	e.expire(e.now)
+	e.mu.Unlock()
+}
+
+// Matches copies the buffered matches of a subscription (oldest first)
+// along with its stats; ok is false for unknown ids.
+func (e *Engine) Matches(id int) (ms []Match, st SubStats, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, found := e.subs[id]
+	if !found {
+		return nil, SubStats{}, false
+	}
+	ms = make([]Match, 0, s.rlen)
+	for i := 0; i < s.rlen; i++ {
+		ms = append(ms, s.ring[(s.rstart+i)%len(s.ring)])
+	}
+	return ms, e.statsOf(s), true
+}
+
+// Subscriptions lists the live subscriptions' stats, ascending by id.
+func (e *Engine) Subscriptions() []SubStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SubStats, 0, len(e.subs))
+	for _, s := range e.subs {
+		out = append(out, e.statsOf(s))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (e *Engine) statsOf(s *subscription) SubStats {
+	return SubStats{
+		ID: s.id, Pattern: s.pat.String(), Runs: s.nrun,
+		Matches: s.total, Buffer: s.rlen, Dropped: s.dropped, Evicted: s.evicted,
+	}
+}
+
+// Stats summarizes engine-wide state (bounded-state tests).
+type Stats struct {
+	Subs, Runs, Heap int
+}
+
+// EngineStats returns engine-wide state sizes.
+func (e *Engine) EngineStats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Subs: len(e.subs), Runs: e.nrun, Heap: len(e.heap)}
+}
+
+// process runs one event through the existing runs of its object, then
+// considers anchoring new runs. Existing runs advance first: a freshly
+// anchored run starts matching from the *next* event (skip-till-next-
+// match), so the anchoring event cannot satisfy two steps at once.
+func (e *Engine) process(now model.Epoch, ev event.Event) {
+	if ev.Object == model.NoTag {
+		return
+	}
+	if e.tel != nil {
+		e.tel.Events.Inc()
+	}
+	for r := e.objRuns[ev.Object]; r != nil; {
+		next := r.objNext // advanceRun may unlink r
+		e.advanceRun(r, now, ev)
+		r = next
+	}
+	for _, s := range e.byKind[ev.Kind] {
+		if s.dead || !s.pat.matches(0, ev, nil) {
+			continue
+		}
+		if len(s.pat.Steps) == 1 {
+			// Single-step pattern: the anchor is the whole match.
+			e.emit(s, Match{Sub: s.id, Object: ev.Object, Start: now, At: now})
+			continue
+		}
+		e.startRun(s, now, ev)
+	}
+}
+
+// advanceRun applies one event to one run. Precedence when the current
+// step is a non-trailing NOT and the event satisfies both the negated
+// step and the following positive step: the sequence advances (SASE's
+// semantics — negation excludes *other* events between the positives).
+func (e *Engine) advanceRun(r *run, now model.Epoch, ev event.Event) {
+	if r.dead {
+		return
+	}
+	if now > r.deadline {
+		e.resolve(r)
+		return
+	}
+	p := r.sub.pat
+	st := &p.Steps[r.idx]
+	if st.Neg {
+		if r.idx == len(p.Steps)-1 {
+			if p.matches(r.idx, ev, &r.binds) {
+				e.killRun(r) // absence violated
+			}
+			return
+		}
+		if p.matches(r.idx+1, ev, &r.binds) {
+			bind(&r.binds, r.idx+1, ev)
+			r.idx += 2
+			if r.idx >= len(p.Steps) {
+				e.complete(r, now)
+			}
+			return
+		}
+		if p.matches(r.idx, ev, &r.binds) {
+			e.killRun(r)
+		}
+		return
+	}
+	if p.matches(r.idx, ev, &r.binds) {
+		bind(&r.binds, r.idx, ev)
+		r.idx++
+		if r.idx >= len(p.Steps) {
+			e.complete(r, now)
+		}
+	}
+}
+
+// startRun anchors a new run at the event, evicting the subscription's
+// oldest run when the cap is exceeded.
+func (e *Engine) startRun(s *subscription, now model.Epoch, ev event.Event) {
+	r := e.freeRun
+	if r != nil {
+		e.freeRun = r.free
+		*r = run{}
+	} else {
+		r = &run{}
+	}
+	r.sub = s
+	r.obj = ev.Object
+	r.t1 = now
+	r.idx = 1
+	bind(&r.binds, 0, ev)
+	if s.pat.Within > 0 {
+		r.deadline = now + s.pat.Within
+		e.heapPush(r)
+	} else {
+		r.deadline = model.InfiniteEpoch
+	}
+
+	// Link: per-object list. Head insertion is O(1); runs are mutually
+	// independent, so their relative order within one object is free.
+	if head := e.objRuns[ev.Object]; head != nil {
+		r.objNext, head.objPrev = head, r
+	}
+	e.objRuns[ev.Object] = r
+	// Link: per-subscription creation-order list.
+	if s.runTail == nil {
+		s.runHead, s.runTail = r, r
+	} else {
+		s.runTail.subNext, r.subPrev = r, s.runTail
+		s.runTail = r
+	}
+	s.nrun++
+	e.nrun++
+
+	if s.nrun > e.cfg.MaxRuns {
+		victim := s.runHead // oldest by construction: t1 is monotonic
+		s.evicted++
+		if e.tel != nil {
+			e.tel.Evicted.Inc()
+		}
+		if e.testEvict != nil {
+			e.testEvict(victim.t1, victim.subNext.t1)
+		}
+		e.killRun(victim)
+	}
+	if e.tel != nil {
+		e.tel.Runs.Set(int64(e.nrun))
+	}
+}
+
+// complete emits the match of a fully-satisfied run and retires it.
+func (e *Engine) complete(r *run, at model.Epoch) {
+	e.emit(r.sub, Match{Sub: r.sub.id, Object: r.obj, Start: r.t1, At: at})
+	e.killRun(r)
+}
+
+// resolve settles a run whose window has closed: a pending trailing NOT
+// becomes a match (the absence held through the window), anything else
+// just dies.
+func (e *Engine) resolve(r *run) {
+	p := r.sub.pat
+	if r.idx == len(p.Steps)-1 && p.Steps[r.idx].Neg {
+		e.emit(r.sub, Match{Sub: r.sub.id, Object: r.obj, Start: r.t1, At: r.deadline})
+	}
+	e.killRun(r)
+}
+
+// emit appends a match to the subscription's bounded ring, growing it
+// geometrically up to the cap and then dropping the oldest buffered match
+// on overflow.
+func (e *Engine) emit(s *subscription, m Match) {
+	s.total++
+	if e.tel != nil {
+		e.tel.Matches.Inc()
+	}
+	if s.rlen == len(s.ring) {
+		if len(s.ring) < e.cfg.MaxMatches {
+			n := 2 * len(s.ring)
+			if n == 0 {
+				n = 16
+			}
+			if n > e.cfg.MaxMatches {
+				n = e.cfg.MaxMatches
+			}
+			ring := make([]Match, n)
+			for i := 0; i < s.rlen; i++ {
+				ring[i] = s.ring[(s.rstart+i)%len(s.ring)]
+			}
+			s.ring, s.rstart = ring, 0
+		} else {
+			s.rstart = (s.rstart + 1) % len(s.ring)
+			s.rlen--
+			s.dropped++
+			if e.tel != nil {
+				e.tel.Dropped.Inc()
+			}
+		}
+	}
+	s.ring[(s.rstart+s.rlen)%len(s.ring)] = m
+	s.rlen++
+	if s.fn != nil {
+		s.fn(m)
+	}
+}
+
+// killRun unlinks a run from the object and subscription lists and marks
+// it dead. Recycling waits until the heap no longer references it.
+func (e *Engine) killRun(r *run) {
+	if r.dead {
+		return
+	}
+	r.dead = true
+	// Object list.
+	if r.objPrev != nil {
+		r.objPrev.objNext = r.objNext
+	} else if r.objNext != nil {
+		e.objRuns[r.obj] = r.objNext
+	} else {
+		delete(e.objRuns, r.obj)
+	}
+	if r.objNext != nil {
+		r.objNext.objPrev = r.objPrev
+	}
+	r.objPrev, r.objNext = nil, nil
+	// Subscription list.
+	s := r.sub
+	if r.subPrev != nil {
+		r.subPrev.subNext = r.subNext
+	} else {
+		s.runHead = r.subNext
+	}
+	if r.subNext != nil {
+		r.subNext.subPrev = r.subPrev
+	} else {
+		s.runTail = r.subPrev
+	}
+	r.subPrev, r.subNext = nil, nil
+	s.nrun--
+	e.nrun--
+	if !r.inHeap {
+		e.recycle(r)
+	}
+	if e.tel != nil {
+		e.tel.Runs.Set(int64(e.nrun))
+	}
+}
+
+func (e *Engine) recycle(r *run) {
+	r.sub = nil
+	r.free = e.freeRun
+	e.freeRun = r
+}
+
+// expire pops every run whose deadline is at or before now. Events of
+// epoch now were already processed, and the clock is strictly monotonic,
+// so nothing inside those windows can still arrive.
+func (e *Engine) expire(now model.Epoch) {
+	for len(e.heap) > 0 && e.heap[0].deadline <= now {
+		r := e.heapPop()
+		if r.dead {
+			e.recycle(r) // killRun left it for the heap to release
+			continue
+		}
+		e.resolve(r) // kills the run, which recycles it (inHeap is off)
+	}
+}
+
+// heapPush/heapPop implement the deadline min-heap inline (container/heap
+// would box every operation through an interface).
+func (e *Engine) heapPush(r *run) {
+	r.inHeap = true
+	e.heap = append(e.heap, r)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if e.heap[parent].deadline <= e.heap[i].deadline {
+			break
+		}
+		e.heap[parent], e.heap[i] = e.heap[i], e.heap[parent]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() *run {
+	r := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		small := i
+		if l < len(e.heap) && e.heap[l].deadline < e.heap[small].deadline {
+			small = l
+		}
+		if rt < len(e.heap) && e.heap[rt].deadline < e.heap[small].deadline {
+			small = rt
+		}
+		if small == i {
+			break
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+	r.inHeap = false
+	return r
+}
+
+// Validate parses src and reports the first error, for flag validation
+// without building an engine.
+func Validate(src string) error {
+	_, err := Parse(src)
+	return err
+}

@@ -1,0 +1,509 @@
+// Package cep is a SASE-style complex-event subscription engine over
+// SPIRE's compressed output stream. Subscriptions are written in a small
+// pattern language —
+//
+//	SEQ(step, step, ...) WITHIN <epochs>
+//
+// where each step is a conjunction of predicate atoms over one event,
+// optionally prefixed with NOT (negation between steps, or trailing
+// absence detection). Patterns compile to nondeterministic finite automata
+// evaluated incrementally one event at a time, with runs implicitly
+// partitioned by the event's object tag and per-subscription state bounded
+// by an active-run cap with oldest-run eviction (SASE's partitioned
+// skip-till-next-match semantics; see PAPERS.md, "High-Performance Complex
+// Event Processing over Streams").
+//
+// Atoms:
+//
+//	start(L)      StartLocation at L      end(L)       EndLocation at L
+//	start(A..B)   location in [A,B]       start(!A..B) location outside [A,B]
+//	start(@2)     location bound by step 2 (start(!@2): differs from it)
+//	contain(T)    StartContainment in T   uncontain(T) EndContainment from T
+//	contain(@2)   container bound by step 2
+//	missing()     Missing report          any()        any event
+//	tag(T)        object is tag T         level(case)  EPC level (item|case|pallet)
+//	company(N)    EPC company prefix N
+//
+// start/end/contain/uncontain with empty parentheses match their kind at
+// any location/container. A step with no kind atom matches every kind.
+// The first step must be positive; NOT may not appear twice in a row; a
+// trailing NOT requires a WITHIN window (the absence is detected when the
+// window closes).
+package cep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spire/internal/epc"
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// MaxSteps bounds the pattern length so per-run binding state stays a
+// fixed-size array (no allocation per run).
+const MaxSteps = 8
+
+// KindSet is a bitmask over event kinds; zero matches every kind.
+type KindSet uint8
+
+// Has reports whether k is in the set (an empty set has every kind).
+func (s KindSet) Has(k event.Kind) bool {
+	return s == 0 || s&(1<<uint(k)) != 0
+}
+
+func kindBit(k event.Kind) KindSet { return 1 << uint(k) }
+
+// Condition modes for the location/container argument of a kind atom.
+const (
+	condAny   = iota // no constraint
+	condRange        // value in [Lo, Hi] (negated: outside)
+	condRef          // value equals the binding of step Ref (negated: differs)
+	condEq           // container equals Tag
+)
+
+// LocCond constrains the location of a location-kind event.
+type LocCond struct {
+	Mode   int
+	Neg    bool
+	Lo, Hi model.LocationID
+	Ref    int // 0-based step index for condRef
+}
+
+// ContCond constrains the container of a containment-kind event.
+type ContCond struct {
+	Mode int
+	Tag  model.Tag
+	Ref  int
+}
+
+// Step is one conjunction of atoms, optionally negated.
+type Step struct {
+	Neg bool
+
+	Kinds      KindSet
+	Tag        model.Tag // non-zero: object must equal
+	HasLevel   bool
+	Level      model.Level
+	HasCompany bool
+	Company    uint32
+	Loc        LocCond
+	Cont       ContCond
+}
+
+// Pattern is a compiled subscription pattern.
+type Pattern struct {
+	Steps  []Step
+	Within model.Epoch // 0 = unbounded
+	src    string
+}
+
+// String returns the source text the pattern was parsed from.
+func (p *Pattern) String() string { return p.src }
+
+// binding is the payload captured when a positive step matches.
+type binding struct {
+	loc  model.LocationID
+	cont model.Tag
+}
+
+// matches reports whether e satisfies step si given the bindings of the
+// earlier positive steps.
+func (p *Pattern) matches(si int, e event.Event, binds *[MaxSteps]binding) bool {
+	st := &p.Steps[si]
+	if !st.Kinds.Has(e.Kind) {
+		return false
+	}
+	if st.Tag != model.NoTag && e.Object != st.Tag {
+		return false
+	}
+	if st.HasLevel || st.HasCompany {
+		id, err := epc.Decode(e.Object)
+		if err != nil {
+			return false
+		}
+		if st.HasLevel && id.Level != st.Level {
+			return false
+		}
+		if st.HasCompany && id.Company != st.Company {
+			return false
+		}
+	}
+	switch st.Loc.Mode {
+	case condRange:
+		in := e.Kind.Location() && e.Location >= st.Loc.Lo && e.Location <= st.Loc.Hi
+		if in == st.Loc.Neg {
+			return false
+		}
+	case condRef:
+		if !e.Kind.Location() {
+			return false
+		}
+		ref := binds[st.Loc.Ref].loc
+		if ref == model.LocationNone {
+			return false // referenced step bound a non-location event
+		}
+		if (e.Location == ref) == st.Loc.Neg {
+			return false
+		}
+	}
+	switch st.Cont.Mode {
+	case condEq:
+		if !e.Kind.Containment() || e.Container != st.Cont.Tag {
+			return false
+		}
+	case condRef:
+		ref := binds[st.Cont.Ref].cont
+		if !e.Kind.Containment() || ref == model.NoTag || e.Container != ref {
+			return false
+		}
+	}
+	return true
+}
+
+// bind captures step si's payload from e.
+func bind(binds *[MaxSteps]binding, si int, e event.Event) {
+	b := binding{loc: model.LocationNone, cont: model.NoTag}
+	if e.Kind.Location() {
+		b.loc = e.Location
+	}
+	if e.Kind.Containment() {
+		b.cont = e.Container
+	}
+	binds[si] = b
+}
+
+// trailingNot reports whether the pattern ends with a negated step (the
+// absence completes when the window closes).
+func (p *Pattern) trailingNot() bool {
+	return p.Steps[len(p.Steps)-1].Neg
+}
+
+// Parse compiles a pattern from its source text.
+func Parse(src string) (*Pattern, error) {
+	ps := &parser{src: src, rest: src}
+	p, err := ps.pattern()
+	if err != nil {
+		return nil, fmt.Errorf("cep: parse %q: %w", src, err)
+	}
+	p.src = src
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("cep: parse %q: %w", src, err)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for the built-in detectors and tests.
+func MustParse(src string) *Pattern {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// validate enforces the structural rules shared by engine and reference.
+func (p *Pattern) validate() error {
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("empty SEQ")
+	}
+	if len(p.Steps) > MaxSteps {
+		return fmt.Errorf("%d steps exceed the maximum %d", len(p.Steps), MaxSteps)
+	}
+	if p.Steps[0].Neg {
+		return fmt.Errorf("first step must be positive")
+	}
+	for i := 1; i < len(p.Steps); i++ {
+		if p.Steps[i].Neg && p.Steps[i-1].Neg {
+			return fmt.Errorf("adjacent NOT steps (step %d)", i+1)
+		}
+	}
+	if p.trailingNot() && p.Within <= 0 {
+		return fmt.Errorf("trailing NOT requires a WITHIN window")
+	}
+	if p.Within < 0 {
+		return fmt.Errorf("WITHIN %d must be positive", p.Within)
+	}
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		for _, c := range []struct {
+			mode, ref int
+			what      string
+		}{{st.Loc.Mode, st.Loc.Ref, "location"}, {st.Cont.Mode, st.Cont.Ref, "container"}} {
+			if c.mode != condRef {
+				continue
+			}
+			if c.ref >= i {
+				return fmt.Errorf("step %d: %s @%d must reference an earlier step", i+1, c.what, c.ref+1)
+			}
+			if p.Steps[c.ref].Neg {
+				return fmt.Errorf("step %d: %s @%d references a NOT step, which binds nothing", i+1, c.what, c.ref+1)
+			}
+		}
+	}
+	return nil
+}
+
+// parser is a hand-rolled recursive-descent parser over the tiny grammar.
+type parser struct {
+	src  string
+	rest string
+}
+
+func (ps *parser) ws() {
+	ps.rest = strings.TrimLeft(ps.rest, " \t\r\n")
+}
+
+// lit consumes the literal s if it is next (after whitespace).
+func (ps *parser) lit(s string) bool {
+	ps.ws()
+	if strings.HasPrefix(ps.rest, s) {
+		ps.rest = ps.rest[len(s):]
+		return true
+	}
+	return false
+}
+
+// ident consumes a lowercase/uppercase identifier.
+func (ps *parser) ident() string {
+	ps.ws()
+	i := 0
+	for i < len(ps.rest) {
+		c := ps.rest[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			i++
+			continue
+		}
+		break
+	}
+	id := ps.rest[:i]
+	ps.rest = ps.rest[i:]
+	return id
+}
+
+// int parses an unsigned decimal; tags are full-range uint64 EPC values.
+func (ps *parser) int() (uint64, error) {
+	ps.ws()
+	i := 0
+	for i < len(ps.rest) && ps.rest[i] >= '0' && ps.rest[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return 0, fmt.Errorf("expected a number at %q", trunc(ps.rest))
+	}
+	v, err := strconv.ParseUint(ps.rest[:i], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	ps.rest = ps.rest[i:]
+	return v, nil
+}
+
+func trunc(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}
+
+func (ps *parser) pattern() (*Pattern, error) {
+	if !ps.lit("SEQ") {
+		return nil, fmt.Errorf("expected SEQ at %q", trunc(ps.rest))
+	}
+	if !ps.lit("(") {
+		return nil, fmt.Errorf("expected ( after SEQ")
+	}
+	p := &Pattern{}
+	for {
+		st, err := ps.step()
+		if err != nil {
+			return nil, err
+		}
+		p.Steps = append(p.Steps, st)
+		if ps.lit(",") {
+			continue
+		}
+		break
+	}
+	if !ps.lit(")") {
+		return nil, fmt.Errorf("expected ) at %q", trunc(ps.rest))
+	}
+	if ps.lit("WITHIN") {
+		n, err := ps.int()
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 || n > uint64(model.InfiniteEpoch/2) {
+			return nil, fmt.Errorf("WITHIN %d out of range", n)
+		}
+		p.Within = model.Epoch(n)
+	}
+	ps.ws()
+	if ps.rest != "" {
+		return nil, fmt.Errorf("trailing input %q", trunc(ps.rest))
+	}
+	return p, nil
+}
+
+func (ps *parser) step() (Step, error) {
+	var st Step
+	st.Neg = ps.lit("NOT")
+	hasKind := false
+	for {
+		ps.ws()
+		name := ps.ident()
+		if name == "" {
+			return st, fmt.Errorf("expected an atom at %q", trunc(ps.rest))
+		}
+		if err := ps.atom(&st, name, &hasKind); err != nil {
+			return st, err
+		}
+		if ps.lit("&") {
+			continue
+		}
+		return st, nil
+	}
+}
+
+// atom parses one atom's argument list and folds it into the step.
+func (ps *parser) atom(st *Step, name string, hasKind *bool) error {
+	if !ps.lit("(") {
+		return fmt.Errorf("expected ( after %q", name)
+	}
+	kind := func(k event.Kind) error {
+		if *hasKind {
+			return fmt.Errorf("step has more than one event-kind atom (%q)", name)
+		}
+		*hasKind = true
+		st.Kinds = kindBit(k)
+		return nil
+	}
+	var err error
+	switch name {
+	case "any":
+	case "missing":
+		err = kind(event.Missing)
+	case "start", "end":
+		k := event.StartLocation
+		if name == "end" {
+			k = event.EndLocation
+		}
+		if err = kind(k); err == nil {
+			err = ps.locArg(&st.Loc)
+		}
+	case "contain", "uncontain":
+		k := event.StartContainment
+		if name == "uncontain" {
+			k = event.EndContainment
+		}
+		if err = kind(k); err == nil {
+			err = ps.contArg(&st.Cont)
+		}
+	case "tag":
+		var v uint64
+		if v, err = ps.int(); err == nil {
+			if v == 0 {
+				err = fmt.Errorf("tag(%d) must be positive", v)
+			}
+			st.Tag = model.Tag(v)
+		}
+	case "level":
+		lvl := ps.ident()
+		switch lvl {
+		case "item":
+			st.Level = model.LevelItem
+		case "case":
+			st.Level = model.LevelCase
+		case "pallet":
+			st.Level = model.LevelPallet
+		default:
+			err = fmt.Errorf("unknown level %q (item|case|pallet)", lvl)
+		}
+		st.HasLevel = true
+	case "company":
+		var v uint64
+		if v, err = ps.int(); err == nil {
+			if v > uint64(epc.MaxCompany) {
+				err = fmt.Errorf("company(%d) out of range", v)
+			}
+			st.HasCompany = true
+			st.Company = uint32(v)
+		}
+	default:
+		return fmt.Errorf("unknown atom %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	if !ps.lit(")") {
+		return fmt.Errorf("expected ) closing %q at %q", name, trunc(ps.rest))
+	}
+	return nil
+}
+
+// locArg parses the optional location argument: empty, [!]A[..B], [!]@N.
+func (ps *parser) locArg(c *LocCond) error {
+	ps.ws()
+	if strings.HasPrefix(ps.rest, ")") {
+		return nil
+	}
+	c.Neg = ps.lit("!")
+	if ps.lit("@") {
+		n, err := ps.int()
+		if err != nil {
+			return err
+		}
+		if n < 1 || n > MaxSteps {
+			return fmt.Errorf("@%d: step references are 1-based and at most %d", n, MaxSteps)
+		}
+		c.Mode, c.Ref = condRef, int(n)-1
+		return nil
+	}
+	lo, err := ps.int()
+	if err != nil {
+		return err
+	}
+	hi := lo
+	if ps.lit("..") {
+		if hi, err = ps.int(); err != nil {
+			return err
+		}
+		if hi < lo {
+			return fmt.Errorf("empty location range %d..%d", lo, hi)
+		}
+	}
+	if hi > 1<<31-1 {
+		return fmt.Errorf("location %d exceeds the 32-bit id space", hi)
+	}
+	c.Mode, c.Lo, c.Hi = condRange, model.LocationID(lo), model.LocationID(hi)
+	return nil
+}
+
+// contArg parses the optional container argument: empty, T, @N.
+func (ps *parser) contArg(c *ContCond) error {
+	ps.ws()
+	if strings.HasPrefix(ps.rest, ")") {
+		return nil
+	}
+	if ps.lit("@") {
+		n, err := ps.int()
+		if err != nil {
+			return err
+		}
+		if n < 1 || n > MaxSteps {
+			return fmt.Errorf("@%d: step references are 1-based and at most %d", n, MaxSteps)
+		}
+		c.Mode, c.Ref = condRef, int(n)-1
+		return nil
+	}
+	v, err := ps.int()
+	if err != nil {
+		return err
+	}
+	if v == 0 {
+		return fmt.Errorf("contain(%d): container tag must be positive", v)
+	}
+	c.Mode, c.Tag = condEq, model.Tag(v)
+	return nil
+}

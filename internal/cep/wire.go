@@ -1,0 +1,10 @@
+package cep
+
+import "spire/internal/query"
+
+// Attach registers the engine as an epoch observer on the watcher, the
+// wiring point between the substrate's compressed output stream and the
+// subscription engine: core.Substrate.Watch(w) frames each epoch, the
+// watcher forwards the framing and every event here, and the engine's
+// incremental NFA evaluation runs inline on the pipeline goroutine.
+func (e *Engine) Attach(w *query.Watcher) { w.SubscribeEpochs(e) }

@@ -20,6 +20,7 @@ import (
 	"spire/internal/graph"
 	"spire/internal/inference"
 	"spire/internal/model"
+	"spire/internal/query"
 	"spire/internal/stream"
 	"spire/internal/trace"
 )
@@ -127,6 +128,12 @@ type Substrate struct {
 	// disabled); see trace.go. Like tel, it is observation-only.
 	rec *trace.Recorder
 
+	// watch is the optional downstream event watcher (nil when disabled);
+	// it receives each epoch's compressed output with epoch framing, after
+	// the epoch is fully assembled. Like tel and rec it is observation-only:
+	// nil keeps the pipeline byte-identical and allocation-free.
+	watch *query.Watcher
+
 	// raw is the pooled KeepRawResult copy, reset and refilled each epoch
 	// instead of allocating fresh maps; it shares the Result lifetime
 	// contract of ProcessEpoch.
@@ -232,6 +239,14 @@ func (s *Substrate) InferStats() inference.PassStats { return s.inf.LastStats() 
 
 // Stats returns accumulated processing statistics.
 func (s *Substrate) Stats() Stats { return s.stats }
+
+// Watch attaches a downstream event watcher. Each processed epoch is
+// delivered as BeginEpoch(now) / Dispatch(events) / EndEpoch(now) after
+// the epoch's output is fully assembled (including exit retirements), and
+// Close's final events are framed the same way. Watching is observation-
+// only: a nil watcher (the default) leaves the pipeline byte-identical
+// and allocation-free, mirroring the telemetry and trace contracts.
+func (s *Substrate) Watch(w *query.Watcher) { s.watch = w }
 
 // ProcessEpoch runs the full substrate over one epoch's observation:
 // dedup → graph update (per reader) → inference → conflict resolution →
@@ -408,6 +423,12 @@ func (s *Substrate) finishEpoch(now model.Epoch, rawReadings int64, tel *Instrum
 	}
 	out.Retired = retired
 
+	if s.watch != nil {
+		s.watch.BeginEpoch(now)
+		s.watch.Dispatch(out.Events...)
+		s.watch.EndEpoch(now)
+	}
+
 	evBytes := event.StreamSize(out.Events)
 	s.stats.Events += int64(len(out.Events))
 	s.stats.EventBytes += evBytes
@@ -503,6 +524,11 @@ func sortTags(tags []model.Tag) {
 // a finished run.
 func (s *Substrate) Close(now model.Epoch) []event.Event {
 	evs := s.comp.Close(now)
+	if s.watch != nil {
+		s.watch.BeginEpoch(now)
+		s.watch.Dispatch(evs...)
+		s.watch.EndEpoch(now)
+	}
 	s.stats.Events += int64(len(evs))
 	s.stats.EventBytes += event.StreamSize(evs)
 	return evs

@@ -146,6 +146,8 @@ func Registry() map[string]Driver {
 		},
 		"bench-ingest":     BenchIngest,
 		"bench-zones":      BenchZones,
+		"cep":              one(CEPQuality),
+		"cep-perf":         one(CEPPerf),
 		"infercomp":        one(InferComp),
 		"ablation-partial": one(AblationPartialInference),
 		"ablation-prune":   one(AblationPruneThreshold),
@@ -157,6 +159,7 @@ func IDs() []string {
 	return []string{
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
 		"table3", "fig10", "fig11", "fig11a", "fig11b", "fig11c",
-		"bench-ingest", "bench-zones", "infercomp", "ablation-partial", "ablation-prune",
+		"bench-ingest", "bench-zones", "cep", "cep-perf",
+		"infercomp", "ablation-partial", "ablation-prune",
 	}
 }

@@ -175,6 +175,55 @@ func TestTable3AndFig10Shape(t *testing.T) {
 	}
 }
 
+// TestCEPQualityFloors runs the subscription-quality experiment at quick
+// scale and asserts detector F1 floors against ground truth — the
+// acceptance gate for the complex-event engine. The floors carry margin
+// below the measured quick-scale scores (theft 0.97, misroute ≥ 0.96,
+// cold 1.00 across all dropout rows), so they fail on real regressions,
+// not run-to-run noise.
+func TestCEPQualityFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	tbl, err := CEPQuality(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	floors := map[string]float64{"theft": 0.85, "misroute": 0.85, "cold": 0.90}
+	for _, d := range cepDropouts() {
+		for det, floor := range floors {
+			row := d.label + " " + det
+			f1, ok := tbl.Cell(row, "F1")
+			if !ok {
+				t.Errorf("missing row %q", row)
+				continue
+			}
+			if f1 < floor {
+				t.Errorf("%s: F1 = %.4f below floor %.2f", row, f1, floor)
+			}
+		}
+	}
+	// On the clean trace every injected anomaly must be caught: the
+	// detectors' recall story collapses silently otherwise, even while
+	// F1 limps over the floor on precision.
+	for det := range floors {
+		r, ok := tbl.Cell("none "+det, "recall")
+		if !ok || r < 0.95 {
+			t.Errorf("none %s: recall = %.4f, want ≥ 0.95", det, r)
+		}
+	}
+	// Detection delay must stay within the detector window plus scan
+	// lag — a delay beyond that means matches complete on the wrong
+	// epoch arithmetic.
+	for det, bound := range map[string]float64{"theft": cepTheftWindow + 20, "misroute": cepMisrouteWindow, "cold": cepColdWindow + 20} {
+		delay, ok := tbl.Cell("none "+det, "delay")
+		if !ok || delay <= 0 || delay > bound {
+			t.Errorf("none %s: delay = %.2f, want in (0, %.0f]", det, delay, bound)
+		}
+	}
+}
+
 // TestBenchIngestShape runs the ingest-throughput experiment at quick
 // scale and asserts its structure. Absolute readings/s and the parallel
 // speedup are host-dependent (and ~1 on a single-core machine), so the

@@ -13,6 +13,15 @@
 //	/metrics                          Prometheus text format (EnableMetrics)
 //	/debug/pprof/...                  runtime profiles (EnablePprof)
 //
+// EnableCEP adds the complex-event subscription surface — the one
+// exception to the GET-only rule (see subscriptions.go):
+//
+//	POST   /v1/subscriptions               register a pattern
+//	GET    /v1/subscriptions               list subscriptions
+//	GET    /v1/subscriptions/{id}          one subscription's stats
+//	GET    /v1/subscriptions/{id}/matches  buffered matches
+//	DELETE /v1/subscriptions/{id}          unsubscribe
+//
 // The handler serves reads only; feeding the store concurrently with
 // serving requires external synchronization (the store is not
 // goroutine-safe), so deployments typically snapshot or serialize through
@@ -30,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 
+	"spire/internal/cep"
 	"spire/internal/model"
 	"spire/internal/query"
 	"spire/internal/telemetry"
@@ -42,6 +52,7 @@ type StatsFunc func() any
 type Handler struct {
 	store *query.Store
 	stats StatsFunc
+	cep   *cep.Engine
 	mux   *http.ServeMux
 }
 
@@ -80,11 +91,13 @@ func (h *Handler) EnablePprof() *Handler {
 	return h
 }
 
-// ServeHTTP implements http.Handler. Every route is read-only, so
-// anything but GET is rejected up front — 405 with the Allow header RFC
-// 9110 requires, never a misleading 404.
+// ServeHTTP implements http.Handler. The store and metrics routes are
+// read-only, so anything but GET is rejected up front — 405 with the
+// Allow header RFC 9110 requires, never a misleading 404. The
+// subscription routes (EnableCEP) are the one mutating surface and do
+// their own per-method gating.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	if r.Method != http.MethodGet && !strings.HasPrefix(r.URL.Path, "/v1/subscriptions") {
 		w.Header().Set("Allow", http.MethodGet)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return

@@ -1,0 +1,99 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"spire/internal/cep"
+)
+
+// EnableCEP registers the complex-event subscription routes over engine.
+// Unlike the store routes, the engine is internally locked, so these are
+// safe to serve while the pipeline dispatches events into it:
+//
+//	POST   /v1/subscriptions               {"pattern": "SEQ(...) WITHIN n"}
+//	GET    /v1/subscriptions               list subscriptions with stats
+//	GET    /v1/subscriptions/{id}/matches  drained view of the match buffer
+//	DELETE /v1/subscriptions/{id}          unsubscribe
+//
+// POST returns 201 with the subscription id; pattern errors are 422 so
+// clients can distinguish a bad pattern from a malformed request.
+func (h *Handler) EnableCEP(engine *cep.Engine) *Handler {
+	h.cep = engine
+	h.mux.HandleFunc("/v1/subscriptions", h.handleSubscriptions)
+	h.mux.HandleFunc("/v1/subscriptions/", h.handleSubscription)
+	return h
+}
+
+// subscribeRequest is the POST /v1/subscriptions body.
+type subscribeRequest struct {
+	Pattern string `json:"pattern"`
+}
+
+func (h *Handler) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, h.cep.Subscriptions())
+	case http.MethodPost:
+		var req subscribeRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Pattern == "" {
+			http.Error(w, `missing "pattern"`, http.StatusBadRequest)
+			return
+		}
+		id, err := h.cep.Subscribe(req.Pattern)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, map[string]any{"id": id, "pattern": req.Pattern})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *Handler) handleSubscription(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/subscriptions/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil || id < 1 {
+		http.Error(w, "bad subscription id", http.StatusBadRequest)
+		return
+	}
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodDelete:
+		h.cep.Unsubscribe(id)
+		w.WriteHeader(http.StatusNoContent)
+	case len(parts) == 2 && parts[1] == "matches" && r.Method == http.MethodGet:
+		ms, st, ok := h.cep.Matches(id)
+		if !ok {
+			http.Error(w, "no such subscription", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"id":      id,
+			"pattern": st.Pattern,
+			"matches": ms,
+			"total":   st.Matches,
+			"dropped": st.Dropped,
+			"evicted": st.Evicted,
+		})
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		_, st, ok := h.cep.Matches(id)
+		if !ok {
+			http.Error(w, "no such subscription", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}

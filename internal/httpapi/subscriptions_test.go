@@ -1,0 +1,155 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"spire/internal/cep"
+	"spire/internal/event"
+	"spire/internal/model"
+	"spire/internal/query"
+)
+
+func newCEPServer(t *testing.T) (*httptest.Server, *cep.Engine) {
+	t.Helper()
+	e := cep.NewEngine(cep.Config{})
+	h := New(query.NewStore(), nil).EnableCEP(e)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s = %d, want %d", method, url, resp.StatusCode, wantStatus)
+	}
+	if resp.StatusCode == http.StatusNoContent || resp.StatusCode >= 400 {
+		return nil
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: bad JSON: %v", method, url, err)
+	}
+	return out
+}
+
+func TestSubscriptionLifecycle(t *testing.T) {
+	srv, e := newCEPServer(t)
+
+	created := doJSON(t, http.MethodPost, srv.URL+"/v1/subscriptions",
+		map[string]string{"pattern": "SEQ(missing(), NOT start()) WITHIN 10"},
+		http.StatusCreated)
+	id := int(created["id"].(float64))
+	if id < 1 {
+		t.Fatalf("bad subscription id %d", id)
+	}
+
+	// Generate a theft-shaped absence for object 42 and a resight for 43.
+	e.Epoch(5, []event.Event{
+		event.NewMissing(42, 3, 5),
+		event.NewMissing(43, 3, 5),
+	})
+	e.Epoch(9, []event.Event{event.NewStartLocation(43, 3, 9)})
+	e.Epoch(40, nil)
+
+	got := get(t, srv.URL+"/v1/subscriptions/"+itoa(id)+"/matches", http.StatusOK)
+	ms := got["matches"].([]any)
+	if len(ms) != 1 {
+		t.Fatalf("want 1 match (42 vanished, 43 resighted), got %v", got)
+	}
+	m := ms[0].(map[string]any)
+	if model.Tag(m["object"].(float64)) != 42 {
+		t.Fatalf("match names object %v, want 42", m["object"])
+	}
+	if model.Epoch(m["at"].(float64)) != 15 {
+		t.Fatalf("match completes at %v, want window end 15", m["at"])
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/subscriptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []cep.SubStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats) != 1 || stats[0].ID != id {
+		t.Fatalf("listing = %+v, want the one subscription", stats)
+	}
+
+	doJSON(t, http.MethodDelete, srv.URL+"/v1/subscriptions/"+itoa(id), nil, http.StatusNoContent)
+	get(t, srv.URL+"/v1/subscriptions/"+itoa(id)+"/matches", http.StatusNotFound)
+}
+
+func TestSubscriptionErrors(t *testing.T) {
+	srv, _ := newCEPServer(t)
+
+	// Unparseable pattern → 422.
+	doJSON(t, http.MethodPost, srv.URL+"/v1/subscriptions",
+		map[string]string{"pattern": "SEQ(NOT start())"}, http.StatusUnprocessableEntity)
+	// Missing pattern and malformed body → 400.
+	doJSON(t, http.MethodPost, srv.URL+"/v1/subscriptions",
+		map[string]string{}, http.StatusBadRequest)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/subscriptions", bytes.NewBufferString("{"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	// Bad ids.
+	get(t, srv.URL+"/v1/subscriptions/0/matches", http.StatusBadRequest)
+	get(t, srv.URL+"/v1/subscriptions/99/matches", http.StatusNotFound)
+	// Non-GET elsewhere still 405: the subscriptions carve-out must not
+	// open the store routes to writes.
+	doJSON(t, http.MethodPost, srv.URL+"/v1/objects", map[string]string{}, http.StatusMethodNotAllowed)
+	doJSON(t, http.MethodPut, srv.URL+"/v1/subscriptions/1", nil, http.StatusMethodNotAllowed)
+}
+
+// TestSubscriptionsWithoutEngine pins that a handler without EnableCEP
+// keeps rejecting non-GET everywhere (no carve-out leak).
+func TestSubscriptionsWithoutEngine(t *testing.T) {
+	srv, _ := newServer(t)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/subscriptions", bytes.NewBufferString("{}"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/subscriptions without EnableCEP = %d, want 404", resp.StatusCode)
+	}
+}
+
+func itoa(n int) string {
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

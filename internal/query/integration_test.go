@@ -1,4 +1,4 @@
-package query
+package query_test
 
 import (
 	"testing"
@@ -10,6 +10,7 @@ import (
 	"spire/internal/eventlog"
 	"spire/internal/inference"
 	"spire/internal/model"
+	"spire/internal/query"
 	"spire/internal/sim"
 )
 
@@ -34,7 +35,7 @@ func TestPipelineIntoStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store := NewStore()
+	store := query.NewStore()
 	type check struct {
 		at  model.Epoch
 		obj model.Tag
@@ -118,7 +119,7 @@ func TestDurableReplayMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct := NewStore()
+	direct := query.NewStore()
 	for !s.Done() {
 		o, err := s.Step()
 		if err != nil {
@@ -146,7 +147,7 @@ func TestDurableReplayMatchesDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	replayed := NewStore()
+	replayed := query.NewStore()
 	if err := eventlog.Replay(dir, func(e event.Event) error {
 		return replayed.Feed(e)
 	}); err != nil {
@@ -196,7 +197,7 @@ func TestLevel2StreamThroughDecompressorIntoStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	dec := compress.NewDecompressor()
-	store := NewStore()
+	store := query.NewStore()
 	for !s.Done() {
 		o, err := s.Step()
 		if err != nil {

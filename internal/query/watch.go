@@ -46,12 +46,32 @@ func (f Filter) Match(e event.Event) bool {
 	return true
 }
 
+// EpochObserver receives the substrate's compressed event stream with
+// epoch framing: BeginEpoch advances the observer clock, OnEvent delivers
+// each of the epoch's events, EndEpoch marks the batch complete (windows
+// closing at or before now can resolve). Complex-event engines attach
+// through this hook rather than per-event filters because absence
+// semantics need the clock even on event-free epochs.
+type EpochObserver interface {
+	BeginEpoch(now model.Epoch)
+	OnEvent(e event.Event)
+	EndEpoch(now model.Epoch)
+}
+
 // Watcher dispatches streaming events to filtered subscribers — the
 // "monitoring application" side of the substrate. It is not safe for
 // concurrent use; drive it from the pipeline loop.
 type Watcher struct {
 	subs   map[int]subscription
+	ids    []int // subscription order, kept sorted incrementally
+	epochs []EpochObserver
 	nextID int
+
+	// dispatching defers id-slice compaction when a callback unsubscribes
+	// mid-dispatch: the entry is removed from subs immediately (so it stops
+	// receiving events) and swept from ids after the dispatch loop.
+	dispatching bool
+	dirty       bool
 }
 
 type subscription struct {
@@ -69,35 +89,79 @@ func NewWatcher() *Watcher {
 func (w *Watcher) Subscribe(f Filter, fn func(event.Event)) int {
 	w.nextID++
 	w.subs[w.nextID] = subscription{filter: f, fn: fn}
+	// nextID is strictly increasing, so appending keeps ids sorted.
+	w.ids = append(w.ids, w.nextID)
 	return w.nextID
 }
 
 // Unsubscribe removes a subscription; unknown ids are ignored.
-func (w *Watcher) Unsubscribe(id int) { delete(w.subs, id) }
-
-// Dispatch feeds events to every matching subscriber, in subscription
-// order for determinism.
-func (w *Watcher) Dispatch(events ...event.Event) {
-	if len(w.subs) == 0 {
+func (w *Watcher) Unsubscribe(id int) {
+	if _, ok := w.subs[id]; !ok {
 		return
 	}
-	ids := make([]int, 0, len(w.subs))
-	for id := range w.subs {
-		ids = append(ids, id)
+	delete(w.subs, id)
+	if w.dispatching {
+		w.dirty = true // swept after the dispatch loop
+		return
 	}
-	// Insertion sort keeps this allocation-light for the common few-subs
-	// case.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+	for i, v := range w.ids {
+		if v == id {
+			w.ids = append(w.ids[:i], w.ids[i+1:]...)
+			break
 		}
 	}
+}
+
+// SubscribeEpochs attaches an epoch observer. Observers receive every
+// event (unfiltered) plus the epoch framing; they cannot be detached —
+// they live as long as the watcher, matching the pipeline wiring pattern.
+func (w *Watcher) SubscribeEpochs(o EpochObserver) {
+	w.epochs = append(w.epochs, o)
+}
+
+// BeginEpoch forwards the epoch-open to attached epoch observers.
+func (w *Watcher) BeginEpoch(now model.Epoch) {
+	for _, o := range w.epochs {
+		o.BeginEpoch(now)
+	}
+}
+
+// EndEpoch forwards the epoch-close to attached epoch observers.
+func (w *Watcher) EndEpoch(now model.Epoch) {
+	for _, o := range w.epochs {
+		o.EndEpoch(now)
+	}
+}
+
+// Dispatch feeds events to every matching subscriber in subscription
+// order, and to every epoch observer. It allocates nothing: the sorted id
+// slice is maintained incrementally by Subscribe/Unsubscribe, so the
+// pipeline can call this per epoch without touching the hot-loop
+// allocation budget.
+func (w *Watcher) Dispatch(events ...event.Event) {
+	if len(w.ids) == 0 && len(w.epochs) == 0 {
+		return
+	}
+	w.dispatching = true
 	for _, e := range events {
-		for _, id := range ids {
-			s, ok := w.subs[id]
-			if ok && s.filter.Match(e) {
+		for _, id := range w.ids {
+			if s, ok := w.subs[id]; ok && s.filter.Match(e) {
 				s.fn(e)
 			}
 		}
+		for _, o := range w.epochs {
+			o.OnEvent(e)
+		}
+	}
+	w.dispatching = false
+	if w.dirty {
+		w.dirty = false
+		live := w.ids[:0]
+		for _, id := range w.ids {
+			if _, ok := w.subs[id]; ok {
+				live = append(live, id)
+			}
+		}
+		w.ids = live
 	}
 }

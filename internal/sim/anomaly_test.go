@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+
+	"spire/internal/epc"
+	"spire/internal/model"
+)
+
+// anomalyConfig enables all three anomaly workloads at a pace that fires
+// each several times within a short run.
+func anomalyConfig() Config {
+	c := fastConfig()
+	c.Duration = 1200
+	c.ReadRate = 1.0
+	c.TheftInterval = 200
+	c.MisrouteInterval = 150
+	c.ColdCasePeriod = 3
+	c.ExcursionInterval = 180
+	c.ExcursionDwell = 50
+	c.ColdShuffleInterval = 130
+	c.ColdShuffleDwell = 12
+	return c
+}
+
+func runAnomalies(t *testing.T) *Simulator {
+	t.Helper()
+	s, err := New(anomalyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAnomalyConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.MisrouteInterval = -1 },
+		func(c *Config) { c.ColdCasePeriod = -1 },
+		func(c *Config) { c.ColdCasePeriod = 2; c.NumShelves = 1 },
+		func(c *Config) { c.ExcursionInterval = 100 }, // no cold cargo
+		func(c *Config) { c.ColdShuffleInterval = 100 },
+		func(c *Config) { c.ColdCasePeriod = 2; c.ExcursionInterval = 100; c.ExcursionDwell = 0 },
+		func(c *Config) { c.ColdCasePeriod = 2; c.ColdShuffleInterval = 100; c.ColdShuffleDwell = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad anomaly config %d accepted", i)
+		}
+	}
+	if err := anomalyConfig().Validate(); err != nil {
+		t.Fatalf("anomaly config rejected: %v", err)
+	}
+}
+
+// TestMisroutesDivertCasesOffPallets checks the misroute ground truth:
+// diverted cases land back on a shelf while their pallet ships on, and
+// every log entry names a real case/pallet pair.
+func TestMisroutesDivertCasesOffPallets(t *testing.T) {
+	s := runAnomalies(t)
+	mis := s.Misroutes()
+	if len(mis) < 3 {
+		t.Fatalf("want several misroutes over the run, got %d", len(mis))
+	}
+	first, last := s.ShelfRange()
+	for _, m := range mis {
+		if m.Shelf < first || m.Shelf > last {
+			t.Errorf("misroute %+v landed off the shelf range [%d,%d]", m, first, last)
+		}
+		if lvl, _ := epc.LevelOf(m.Case); lvl != model.LevelCase {
+			t.Errorf("misrouted tag %d is not a case", m.Case)
+		}
+		if lvl, _ := epc.LevelOf(m.Pallet); lvl != model.LevelPallet {
+			t.Errorf("misroute pallet tag %d is not a pallet", m.Pallet)
+		}
+	}
+}
+
+// TestColdCasesPinnedToColdShelf checks the cold-cargo invariant: a cold
+// case (ColdCompany prefix) is only ever seen on a warm shelf during a
+// logged excursion or shuffle dwell.
+func TestColdCasesPinnedToColdShelf(t *testing.T) {
+	s, err := New(anomalyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := s.ColdShelf()
+	first, last := s.ShelfRange()
+	warmSeen := map[model.Tag][]model.Epoch{}
+	coldSeen := 0
+	for !s.Done() {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range s.World().Objects() {
+			id, err := epc.Decode(g)
+			if err != nil || id.Company != ColdCompany || id.Level != model.LevelCase {
+				continue
+			}
+			loc := s.World().LocationOf(g)
+			if loc == cold {
+				coldSeen++
+			} else if loc > cold && loc <= last {
+				warmSeen[g] = append(warmSeen[g], s.Now())
+			}
+		}
+	}
+	if coldSeen == 0 {
+		t.Fatal("no cold case ever sat on the cold shelf")
+	}
+	if first != cold {
+		t.Fatalf("cold shelf %d is not the first shelf %d", cold, first)
+	}
+	// Every warm sighting must fall inside a logged dwell for that case.
+	dwells := map[model.Tag][][2]model.Epoch{}
+	for _, e := range s.Excursions() {
+		dwells[e.Case] = append(dwells[e.Case], [2]model.Epoch{e.At, e.Return})
+	}
+	for _, sh := range s.ColdShuffles() {
+		dwells[sh.Case] = append(dwells[sh.Case], [2]model.Epoch{sh.At, sh.Return})
+	}
+	for g, epochs := range warmSeen {
+		for _, at := range epochs {
+			ok := false
+			for _, d := range dwells[g] {
+				if at >= d[0] && at <= d[1] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("cold case %d on a warm shelf at %d outside any logged dwell", g, at)
+			}
+		}
+	}
+}
+
+// TestExcursionsAndShufflesFireAndReturn checks both cold-move logs are
+// populated and that returned cases actually made it back to the cold
+// shelf before the run ended (for dwells ending well before the end).
+func TestExcursionsAndShufflesFireAndReturn(t *testing.T) {
+	s := runAnomalies(t)
+	exc, shf := s.Excursions(), s.ColdShuffles()
+	if len(exc) < 2 {
+		t.Fatalf("want several excursions, got %d", len(exc))
+	}
+	if len(shf) < 2 {
+		t.Fatalf("want several shuffles, got %d", len(shf))
+	}
+	cold := s.ColdShelf()
+	for _, e := range exc {
+		if e.Shelf == cold {
+			t.Errorf("excursion %+v dwelled on the cold shelf", e)
+		}
+		if e.Return != e.At+anomalyConfig().ExcursionDwell {
+			t.Errorf("excursion %+v has dwell %d, want %d", e, e.Return-e.At, anomalyConfig().ExcursionDwell)
+		}
+	}
+	for _, sh := range shf {
+		if sh.Return != sh.At+anomalyConfig().ColdShuffleDwell {
+			t.Errorf("shuffle %+v has dwell %d, want %d", sh, sh.Return-sh.At, anomalyConfig().ColdShuffleDwell)
+		}
+	}
+}
+
+// TestAnomalyFeaturesOffChangeNothing pins trace inertness directly: the
+// zero-valued knobs must produce the byte-identical reading sequence the
+// pre-anomaly simulator produced (the golden corpus pins this end-to-end;
+// this is the sim-local fast guard).
+func TestAnomalyFeaturesOffChangeNothing(t *testing.T) {
+	run := func(cfg Config) []model.Reading {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []model.Reading
+		for !s.Done() {
+			o, err := s.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, o.Readings()...)
+		}
+		return all
+	}
+	base := fastConfig()
+	a := run(base)
+	// Same config round-tripped through the anomaly fields' zero values.
+	base.MisrouteInterval = 0
+	base.ColdCasePeriod = 0
+	base.ExcursionInterval, base.ExcursionDwell = 0, 0
+	base.ColdShuffleInterval, base.ColdShuffleDwell = 0, 0
+	b := run(base)
+	if len(a) != len(b) {
+		t.Fatalf("reading counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reading %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

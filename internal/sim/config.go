@@ -75,6 +75,34 @@ type Config struct {
 	// uncontained, until swept to a shelf by the next passing case's
 	// shelving trip. Zero disables drops.
 	ItemDropRate float64
+
+	// MisrouteInterval, when positive, diverts one case off a completing
+	// outbound pallet roughly every MisrouteInterval epochs: the case is
+	// pulled back onto a random shelf while its pallet ships without it.
+	// Zero disables misroutes. Ground truth lands in Misroutes().
+	MisrouteInterval model.Epoch
+
+	// ColdCasePeriod, when positive, makes every ColdCasePeriod-th
+	// injected case cold-chain cargo: tagged under the ColdCompany EPC
+	// prefix and always shelved on the cold shelf (the first shelf).
+	// Requires NumShelves >= 2 so warm shelves exist. Zero disables cold
+	// cargo entirely.
+	ColdCasePeriod int
+
+	// ExcursionInterval, when positive, moves a cold case from the cold
+	// shelf to a random warm shelf every ExcursionInterval epochs, holding
+	// it there for ExcursionDwell epochs before wheeling it back — a
+	// cold-chain excursion. Dwells longer than a detector's window are the
+	// true positives of the cold-chain workload; ground truth lands in
+	// Excursions(). Requires ColdCasePeriod > 0.
+	ExcursionInterval, ExcursionDwell model.Epoch
+
+	// ColdShuffleInterval, when positive, briefly relocates a cold case to
+	// a warm shelf for ColdShuffleDwell epochs — benign handling churn that
+	// pressures detector precision (a window shorter than the dwell plus a
+	// shelf-reader period false-alarms on every shuffle). Ground truth
+	// lands in ColdShuffles(). Requires ColdCasePeriod > 0.
+	ColdShuffleInterval, ColdShuffleDwell model.Epoch
 }
 
 // DefaultConfig mirrors the accuracy-experiment setup of Section VI-B:
@@ -142,6 +170,34 @@ func (c Config) Validate() error {
 	if c.ItemDropRate < 0 || c.ItemDropRate > 1 {
 		return fmt.Errorf("sim: ItemDropRate %v out of [0,1]", c.ItemDropRate)
 	}
+	if c.MisrouteInterval < 0 {
+		return fmt.Errorf("sim: MisrouteInterval %d must be >= 0", c.MisrouteInterval)
+	}
+	if c.ColdCasePeriod < 0 {
+		return fmt.Errorf("sim: ColdCasePeriod %d must be >= 0", c.ColdCasePeriod)
+	}
+	if c.ColdCasePeriod > 0 && c.NumShelves < 2 {
+		return fmt.Errorf("sim: cold cargo needs NumShelves >= 2 (cold shelf plus warm), got %d", c.NumShelves)
+	}
+	for _, w := range []struct {
+		interval, dwell model.Epoch
+		name            string
+	}{
+		{c.ExcursionInterval, c.ExcursionDwell, "Excursion"},
+		{c.ColdShuffleInterval, c.ColdShuffleDwell, "ColdShuffle"},
+	} {
+		if w.interval < 0 {
+			return fmt.Errorf("sim: %sInterval %d must be >= 0", w.name, w.interval)
+		}
+		if w.interval > 0 {
+			if c.ColdCasePeriod == 0 {
+				return fmt.Errorf("sim: %sInterval needs ColdCasePeriod > 0", w.name)
+			}
+			if w.dwell < 1 {
+				return fmt.Errorf("sim: %sDwell %d must be positive when %sInterval is set", w.name, w.dwell, w.name)
+			}
+		}
+	}
 	return nil
 }
 
@@ -155,10 +211,43 @@ const (
 	readerShelfBase // shelf readers are readerShelfBase+i
 )
 
+// ColdCompany is the EPC company prefix cold-chain cargo is tagged
+// under; ordinary cargo uses a different prefix, so detectors can select
+// cold cases with a company() predicate alone.
+const ColdCompany uint32 = 9
+
 // Theft records an anomaly event: the case stolen and when.
 type Theft struct {
 	Case model.Tag
 	At   model.Epoch
+}
+
+// Misroute records a case diverted off its outbound pallet back onto a
+// shelf while the pallet shipped without it.
+type Misroute struct {
+	Case   model.Tag
+	Pallet model.Tag
+	At     model.Epoch
+	// Shelf is where the diverted case ended up.
+	Shelf model.LocationID
+}
+
+// Excursion records a cold-chain violation: a cold case held on a warm
+// shelf from At until Return.
+type Excursion struct {
+	Case   model.Tag
+	At     model.Epoch
+	Return model.Epoch
+	Shelf  model.LocationID
+}
+
+// ColdShuffle records a benign brief relocation of a cold case — not an
+// anomaly, but the precision pressure of the cold-chain workload.
+type ColdShuffle struct {
+	Case   model.Tag
+	At     model.Epoch
+	Return model.Epoch
+	Shelf  model.LocationID
 }
 
 // Drop records an item falling off its case on the receiving belt.

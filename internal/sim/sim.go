@@ -34,6 +34,16 @@ type caseUnit struct {
 	shelf model.LocationID
 	// pallet is the outbound pallet once packed.
 	pallet *palletUnit
+	// cold marks cold-chain cargo: tagged under ColdCompany and always
+	// shelved on the cold shelf.
+	cold bool
+}
+
+// coldMove is a cold case temporarily relocated to a warm shelf — an
+// excursion or a benign shuffle — due back at ret.
+type coldMove struct {
+	c   *caseUnit
+	ret model.Epoch
 }
 
 // palletUnit is an outbound (newly assembled) pallet.
@@ -79,6 +89,16 @@ type Simulator struct {
 	loose    []model.Tag // fallen items now parked on shelves
 	departed []model.Tag // tags departed in the current epoch
 
+	// anomaly-scenario state (all inert unless the matching Config knob
+	// is set; the golden corpus pins that inertness byte-for-byte).
+	seqCold      *epc.Sequencer // cold-cargo tag allocator (ColdCompany)
+	caseCount    int            // injected cases, for the cold-case period
+	nextMisroute model.Epoch    // next epoch a pack completion diverts a case
+	coldMoves    []*coldMove    // cold cases off on warm shelves, with due-backs
+	misroutes    []Misroute
+	excursions   []Excursion
+	coldShuffles []ColdShuffle
+
 	// location ids
 	locEntry, locBeltIn, locPack, locBeltOut, locExit model.LocationID
 	locShelf0                                         model.LocationID
@@ -120,6 +140,14 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s.seq = seq
+	if cfg.ColdCasePeriod > 0 {
+		if s.seqCold, err = epc.NewSequencer(ColdCompany); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MisrouteInterval > 0 {
+		s.nextMisroute = cfg.MisrouteInterval
+	}
 
 	s.readers = []model.Reader{
 		{ID: ReaderEntry, Location: s.locEntry, Period: 1, ReadRate: cfg.ReadRate},
@@ -165,6 +193,30 @@ func (s *Simulator) Thefts() []Theft { return s.thefts }
 
 // Drops returns the item fall-off log so far.
 func (s *Simulator) Drops() []Drop { return s.drops }
+
+// Misroutes returns the misroute anomaly log so far.
+func (s *Simulator) Misroutes() []Misroute { return s.misroutes }
+
+// Excursions returns the cold-chain excursion log so far.
+func (s *Simulator) Excursions() []Excursion { return s.excursions }
+
+// ColdShuffles returns the benign cold-case relocation log so far.
+func (s *Simulator) ColdShuffles() []ColdShuffle { return s.coldShuffles }
+
+// ShelfRange returns the contiguous shelf location id range [first, last].
+func (s *Simulator) ShelfRange() (first, last model.LocationID) {
+	return s.locShelf0, s.locShelf0 + model.LocationID(s.cfg.NumShelves-1)
+}
+
+// ColdShelf returns the cold-zone shelf (the first shelf); only
+// meaningful when ColdCasePeriod is set.
+func (s *Simulator) ColdShelf() model.LocationID { return s.locShelf0 }
+
+// PackagingLocation returns the outbound pallet-assembly area.
+func (s *Simulator) PackagingLocation() model.LocationID { return s.locPack }
+
+// ExitLocation returns the exit door.
+func (s *Simulator) ExitLocation() model.LocationID { return s.locExit }
 
 // Departed returns the tags that left the world during the last Step.
 func (s *Simulator) Departed() []model.Tag { return s.departed }
@@ -292,7 +344,12 @@ func (s *Simulator) advance() error {
 			s.drops = append(s.drops, Drop{Item: it, Case: c.tag, At: now})
 		}
 		c.state = caseOnShelf
-		c.shelf = s.locShelf0 + model.LocationID(s.rng.Intn(s.cfg.NumShelves))
+		if c.cold {
+			// Cold cargo always goes to the cold shelf.
+			c.shelf = s.locShelf0
+		} else {
+			c.shelf = s.locShelf0 + model.LocationID(s.rng.Intn(s.cfg.NumShelves))
+		}
 		span := float64(s.cfg.ShelfTime) * (0.5 + s.rng.Float64())
 		c.until = now + model.Epoch(span)
 		if err := s.world.Move(c.tag, c.shelf); err != nil {
@@ -369,6 +426,14 @@ func (s *Simulator) advance() error {
 			keepPack = append(keepPack, p)
 			continue
 		}
+		// Misroute anomaly: when one is due, a completing pallet loses a
+		// case back onto a shelf and ships without it.
+		if s.cfg.MisrouteInterval > 0 && now >= s.nextMisroute && len(p.cases) > 1 {
+			if err := s.divert(p, now); err != nil {
+				return err
+			}
+			s.nextMisroute = now + s.cfg.MisrouteInterval
+		}
 		s.beltOutQueue = append(s.beltOutQueue, p)
 	}
 	s.packing = keepPack
@@ -442,7 +507,103 @@ func (s *Simulator) advance() error {
 		}
 		s.thefts = append(s.thefts, Theft{Case: c.tag, At: now})
 	}
+
+	// Cold-chain moves: return warm-dwelling cold cases whose dwell
+	// elapsed, then launch any newly due excursion (long dwell, the true
+	// anomaly) or shuffle (short benign dwell). Returns are processed
+	// first so a shelf freed this epoch is immediately reusable.
+	if len(s.coldMoves) > 0 {
+		keepMoves := s.coldMoves[:0]
+		for _, m := range s.coldMoves {
+			if now < m.ret {
+				keepMoves = append(keepMoves, m)
+				continue
+			}
+			// Return only while the case is still shelved off the cold
+			// shelf — a theft mid-dwell wins and leaves nothing to move.
+			if m.c.state == caseOnShelf && m.c.shelf != s.locShelf0 {
+				m.c.shelf = s.locShelf0
+				if err := s.world.Move(m.c.tag, s.locShelf0); err != nil {
+					return err
+				}
+			}
+		}
+		s.coldMoves = keepMoves
+	}
+	// The offsets stagger the two schedules away from each other and from
+	// the theft schedule, so the workloads do not collide on one epoch.
+	if s.cfg.ExcursionInterval > 0 && (now+31)%s.cfg.ExcursionInterval == 0 {
+		if c := s.pickColdShelved(now, s.cfg.ExcursionDwell); c != nil {
+			ret, err := s.moveWarm(c, now, s.cfg.ExcursionDwell)
+			if err != nil {
+				return err
+			}
+			s.excursions = append(s.excursions, Excursion{Case: c.tag, At: now, Return: ret, Shelf: c.shelf})
+		}
+	}
+	if s.cfg.ColdShuffleInterval > 0 && (now+47)%s.cfg.ColdShuffleInterval == 0 {
+		if c := s.pickColdShelved(now, s.cfg.ColdShuffleDwell); c != nil {
+			ret, err := s.moveWarm(c, now, s.cfg.ColdShuffleDwell)
+			if err != nil {
+				return err
+			}
+			s.coldShuffles = append(s.coldShuffles, ColdShuffle{Case: c.tag, At: now, Return: ret, Shelf: c.shelf})
+		}
+	}
 	return nil
+}
+
+// divert pulls one random case off a completing pallet and returns it to
+// a shelf — the misroute anomaly. Cold cases go back to the cold shelf so
+// a misroute never doubles as a cold-chain excursion.
+func (s *Simulator) divert(p *palletUnit, now model.Epoch) error {
+	idx := s.rng.Intn(len(p.cases))
+	c := p.cases[idx]
+	p.cases = append(p.cases[:idx], p.cases[idx+1:]...)
+	s.world.Uncontain(c.tag)
+	c.pallet = nil
+	c.state = caseOnShelf
+	if c.cold {
+		c.shelf = s.locShelf0
+	} else {
+		c.shelf = s.locShelf0 + model.LocationID(s.rng.Intn(s.cfg.NumShelves))
+	}
+	span := float64(s.cfg.ShelfTime) * (0.5 + s.rng.Float64())
+	c.until = now + model.Epoch(span)
+	if err := s.world.Move(c.tag, c.shelf); err != nil {
+		return err
+	}
+	s.shelved = append(s.shelved, c)
+	s.misroutes = append(s.misroutes, Misroute{Case: c.tag, Pallet: p.tag, At: now, Shelf: c.shelf})
+	return nil
+}
+
+// pickColdShelved selects a random cold case currently on the cold shelf
+// with enough shelf time left to complete a dwell of the given length, or
+// nil when none qualifies.
+func (s *Simulator) pickColdShelved(now, dwell model.Epoch) *caseUnit {
+	var candidates []*caseUnit
+	for _, c := range s.shelved {
+		if c.cold && c.state == caseOnShelf && c.shelf == s.locShelf0 && c.until > now+dwell+1 {
+			candidates = append(candidates, c)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[s.rng.Intn(len(candidates))]
+}
+
+// moveWarm relocates a cold case to a random warm shelf for dwell epochs
+// and schedules its return.
+func (s *Simulator) moveWarm(c *caseUnit, now, dwell model.Epoch) (model.Epoch, error) {
+	c.shelf = s.locShelf0 + 1 + model.LocationID(s.rng.Intn(s.cfg.NumShelves-1))
+	if err := s.world.Move(c.tag, c.shelf); err != nil {
+		return 0, err
+	}
+	ret := now + dwell
+	s.coldMoves = append(s.coldMoves, &coldMove{c: c, ret: ret})
+	return ret, nil
 }
 
 // inject creates one arriving pallet group at the entry door.
@@ -460,7 +621,13 @@ func (s *Simulator) inject() error {
 	}
 	in := &inbound{pallet: ptag, until: s.now + s.cfg.EntryDwell}
 	for i := 0; i < n; i++ {
-		ctag, err := s.seq.Next(model.LevelCase)
+		s.caseCount++
+		cold := s.cfg.ColdCasePeriod > 0 && s.caseCount%s.cfg.ColdCasePeriod == 0
+		caseSeq := s.seq
+		if cold {
+			caseSeq = s.seqCold
+		}
+		ctag, err := caseSeq.Next(model.LevelCase)
 		if err != nil {
 			return err
 		}
@@ -470,7 +637,7 @@ func (s *Simulator) inject() error {
 		if err := s.world.Contain(ctag, ptag); err != nil {
 			return err
 		}
-		c := &caseUnit{tag: ctag, state: caseAtEntry}
+		c := &caseUnit{tag: ctag, state: caseAtEntry, cold: cold}
 		for j := 0; j < s.cfg.ItemsPerCase; j++ {
 			itag, err := s.seq.Next(model.LevelItem)
 			if err != nil {
