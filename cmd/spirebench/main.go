@@ -209,6 +209,9 @@ func headline(exps []benchExperiment) map[string]float64 {
 				if v, ok := cell(t, "MergerIngest", "s/Mevent"); ok {
 					h["zones_merge_s_per_mevent"] = v
 				}
+				if v, ok := cell(t, "MergerIngest+telemetry", "s/Mevent"); ok {
+					h["zones_merge_instr_s_per_mevent"] = v
+				}
 			case "ingest-stages":
 				for _, r := range t.Rows {
 					if len(r.Values) != 2 {

@@ -51,6 +51,10 @@ var gatedKeys = []string{
 	// informational — they depend on the host's idle core count.
 	"zones_single_s_per_mread",
 	"zones_merge_s_per_mevent",
+	// The same merge replay with live coordinator instruments attached —
+	// gating it keeps the cluster-health plane's per-epoch metric work
+	// out of the serial merge stage's budget.
+	"zones_merge_instr_s_per_mevent",
 	// Subscription-engine dispatch: seconds per million events with no
 	// subscriptions (the observer overhead every watched deployment pays)
 	// and at 10k subscriptions (the dense per-object alerting load). Both

@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -37,6 +38,8 @@ import (
 	"spire/internal/httpapi"
 	"spire/internal/model"
 	"spire/internal/query"
+	"spire/internal/telemetry"
+	"spire/internal/trace"
 )
 
 func main() {
@@ -48,12 +51,16 @@ func main() {
 
 func run() error {
 	var (
-		zones     = flag.Int("zones", 2, "number of zone workers to coordinate")
-		listen    = flag.String("listen", "127.0.0.1:7412", "address to accept zone workers on")
-		out       = flag.String("o", "", "write the merged stream to this file (binary event wire format)")
-		serve     = flag.String("serve", "", "serve the query API for the merged stream on this address")
-		straggler = flag.Duration("straggler-timeout", 30*time.Second, "max barrier stall before failing and naming the lagging zone")
-		quiet     = flag.Bool("q", false, "suppress progress logging")
+		zones       = flag.Int("zones", 2, "number of zone workers to coordinate")
+		listen      = flag.String("listen", "127.0.0.1:7412", "address to accept zone workers on")
+		out         = flag.String("o", "", "write the merged stream to this file (binary event wire format)")
+		serve       = flag.String("serve", "", "serve the query API for the merged stream on this address")
+		straggler   = flag.Duration("straggler-timeout", 30*time.Second, "max barrier stall before failing and naming the lagging zone")
+		warnFrac    = flag.Float64("straggler-warn", 0.5, "fraction of -straggler-timeout after which a stalled barrier logs a near-miss naming the lagging zone")
+		metricsAddr = flag.String("metrics-addr", "", "serve the cluster health plane on this address: /metrics, /v1/cluster, /healthz, /readyz, /debug/fedtrace")
+		pprofFlag   = flag.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr")
+		logSpec     = flag.String("log-level", "", "log level (debug|info|warn|error), optionally per component: 'warn,federate=debug'")
+		quiet       = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
 
@@ -61,6 +68,10 @@ func run() error {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "spirefed: "+format+"\n", args...)
 		}
+	}
+	logging, err := trace.NewLogging(os.Stderr, *logSpec)
+	if err != nil {
+		return err
 	}
 
 	var sink struct {
@@ -85,10 +96,16 @@ func run() error {
 		sink.store = query.NewStore()
 	}
 
+	var fedLog *slog.Logger
+	if *logSpec != "" {
+		fedLog = logging.Component("federate")
+	}
 	coord, err := federate.NewCoordinator(federate.CoordinatorConfig{
-		Zones:            *zones,
-		StragglerTimeout: *straggler,
-		Logf:             logf,
+		Zones:                 *zones,
+		StragglerTimeout:      *straggler,
+		StragglerWarnFraction: *warnFrac,
+		Logf:                  logf,
+		Log:                   fedLog,
 		Sink: func(epoch model.Epoch, events []event.Event) error {
 			sink.mu.Lock()
 			defer sink.mu.Unlock()
@@ -111,6 +128,28 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		coord.Instrument(reg)
+		rec := trace.NewConnRecorder(0)
+		coord.TraceConn(rec)
+		plane := httpapi.New(nil, nil).
+			EnableMetrics(reg).
+			EnableClusterStatus(func() any { return coord.Status() }).
+			EnableHealth(coord.Ready).
+			EnableConnTrace(rec)
+		if *pprofFlag {
+			plane.EnablePprof()
+		}
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		go http.Serve(mln, plane) //nolint:errcheck — dies with the process
+		logf("cluster health plane on %s", mln.Addr())
 	}
 
 	if *serve != "" {

@@ -26,15 +26,21 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"spire/internal/core"
 	"spire/internal/federate"
+	"spire/internal/httpapi"
 	"spire/internal/inference"
 	"spire/internal/model"
 	"spire/internal/sim"
+	"spire/internal/telemetry"
+	"spire/internal/trace"
 )
 
 func main() {
@@ -47,14 +53,18 @@ func main() {
 func run() error {
 	simCfg := sim.DefaultConfig()
 	var (
-		zone      = flag.Int("zone", -1, "this worker's zone ID (0-based)")
-		zones     = flag.Int("zones", 2, "total zones in the cluster")
-		addr      = flag.String("addr", "127.0.0.1:7412", "coordinator address")
-		level     = flag.Int("level", 1, "compression level (1 or 2)")
-		ckpt      = flag.String("checkpoint", "", "checkpoint file; written on ack, resumed from when present")
-		ckptEvery = flag.Int64("checkpoint-every", 50, "epochs between checkpoint snapshots")
-		ackWindow = flag.Int("ack-window", 64, "max epochs in flight past the coordinator's acks")
-		quiet     = flag.Bool("q", false, "suppress progress logging")
+		zone        = flag.Int("zone", -1, "this worker's zone ID (0-based)")
+		zones       = flag.Int("zones", 2, "total zones in the cluster")
+		addr        = flag.String("addr", "127.0.0.1:7412", "coordinator address")
+		level       = flag.Int("level", 1, "compression level (1 or 2)")
+		ckpt        = flag.String("checkpoint", "", "checkpoint file; written on ack, resumed from when present")
+		ckptEvery   = flag.Int64("checkpoint-every", 50, "epochs between checkpoint snapshots")
+		ackWindow   = flag.Int("ack-window", 64, "max epochs in flight past the coordinator's acks")
+		jitterSeed  = flag.Int64("jitter-seed", 0, "seed for reconnect-backoff jitter (0 derives one from the clock and zone)")
+		metricsAddr = flag.String("metrics-addr", "", "serve the worker health plane on this address: /metrics, /v1/cluster, /healthz, /readyz, /debug/fedtrace")
+		pprofFlag   = flag.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr")
+		logSpec     = flag.String("log-level", "", "log level (debug|info|warn|error), optionally per component: 'warn,federate=debug'")
+		quiet       = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Int64Var(&simCfg.Seed, "seed", simCfg.Seed, "simulation seed (identical across the cluster)")
 	flag.Int64Var((*int64)(&simCfg.Duration), "duration", int64(simCfg.Duration), "simulation length in epochs")
@@ -77,6 +87,14 @@ func run() error {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "spirezone: "+format+"\n", args...)
 		}
+	}
+	logging, err := trace.NewLogging(os.Stderr, *logSpec)
+	if err != nil {
+		return err
+	}
+	var fedLog *slog.Logger
+	if *logSpec != "" {
+		fedLog = logging.Component("federate")
 	}
 
 	var sub *core.Substrate
@@ -108,10 +126,34 @@ func run() error {
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: model.Epoch(*ckptEvery),
 		AckWindow:       *ackWindow,
+		JitterSeed:      *jitterSeed,
 		Logf:            logf,
+		Log:             fedLog,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		w.Instrument(reg)
+		rec := trace.NewConnRecorder(0)
+		w.TraceConn(rec)
+		plane := httpapi.New(nil, nil).
+			EnableMetrics(reg).
+			EnableClusterStatus(func() any { return w.Status() }).
+			EnableHealth(w.Ready).
+			EnableConnTrace(rec)
+		if *pprofFlag {
+			plane.EnablePprof()
+		}
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		go http.Serve(mln, plane) //nolint:errcheck — dies with the process
+		logf("zone %d: health plane on %s", *zone, mln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

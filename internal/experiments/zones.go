@@ -11,6 +11,7 @@ import (
 	"spire/internal/inference"
 	"spire/internal/model"
 	"spire/internal/sim"
+	"spire/internal/telemetry"
 )
 
 // benchZonesConfig is the workload for the federated-scaling benchmark: a
@@ -185,6 +186,50 @@ func measureMergeOnly(capture [][][]event.Event, nz int, minEvents int64) (float
 	return float64(events) / elapsed.Seconds(), nil
 }
 
+// measureMergeInstrumented repeats the merge-only measurement with live
+// coordinator instruments attached, performing the same per-batch and
+// per-epoch metric work the Coordinator's deliver and merge loops do:
+// zone epoch/event counters, the barrier gauge and wait histogram, and
+// the merged-stream totals. The delta against the MergerIngest row is
+// the telemetry tax on the serial coordinator path, which spirebenchdiff
+// gates so the cluster-health plane cannot quietly grow into the merge
+// stage's budget.
+func measureMergeInstrumented(capture [][][]event.Event, nz int, minEvents int64) (float64, error) {
+	reg := telemetry.NewRegistry()
+	tel := federate.NewCoordinatorInstruments(reg, nz)
+	var events int64
+	var elapsed time.Duration
+	for events < minEvents {
+		m := federate.NewMerger()
+		start := time.Now()
+		for i, slate := range capture {
+			epochStart := time.Now()
+			tel.BarrierEpoch.Set(int64(i))
+			for z := 0; z < nz; z++ {
+				out, err := m.Ingest(federate.ZoneID(z), slate[z])
+				if err != nil {
+					return 0, err
+				}
+				tel.ZoneEpochs[z].Inc()
+				tel.ZoneEvents[z].Add(int64(len(slate[z])))
+				tel.MergedEvents.Add(int64(len(out)))
+			}
+			if i < len(capture)-1 {
+				tel.MergedEvents.Add(int64(len(m.EndEpoch())))
+			}
+			tel.MergedEpochs.Inc()
+			tel.BarrierWait.Observe(time.Since(epochStart).Seconds())
+		}
+		elapsed += time.Since(start)
+		for _, slate := range capture {
+			for _, b := range slate {
+				events += int64(len(b))
+			}
+		}
+	}
+	return float64(events) / elapsed.Seconds(), nil
+}
+
 // BenchZones measures federated scaling: the same warehouse interpreted
 // by one substrate, then by 2..8 zone substrates stepped concurrently and
 // merged through the federation Merger, as tags/sec against zone count. A
@@ -241,6 +286,11 @@ func BenchZones(o Options) ([]*Table, error) {
 		return nil, err
 	}
 	merge.AddRow("MergerIngest", eps/1e6, 1e6/eps)
+	ieps, err := measureMergeInstrumented(capture, nz, minMergeEvents)
+	if err != nil {
+		return nil, err
+	}
+	merge.AddRow("MergerIngest+telemetry", ieps/1e6, 1e6/ieps)
 
 	main.Notes = append(main.Notes,
 		"zone substrates step concurrently (one goroutine per zone, as cluster worker processes would); the merger runs serially after each epoch",
@@ -248,6 +298,7 @@ func BenchZones(o Options) ([]*Table, error) {
 		"the distributed win is per-machine load, not single-host wall clock: each zone interprets only its own readers' share of the readings",
 		"events counts the merged output stream; it grows with zones because cross-zone handoffs close and reopen intervals at the boundary")
 	merge.Notes = append(merge.Notes,
-		fmt.Sprintf("replays the captured %d-zone batches through fresh Mergers; serial, so the gated baseline compares across hosts", nz))
+		fmt.Sprintf("replays the captured %d-zone batches through fresh Mergers; serial, so the gated baseline compares across hosts", nz),
+		"the +telemetry row repeats the replay with live CoordinatorInstruments doing the per-batch and per-epoch metric work of the coordinator's merge path; the delta is the gated telemetry tax")
 	return []*Table{main, merge}, nil
 }

@@ -1,0 +1,119 @@
+package federate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"spire/internal/core"
+	"spire/internal/inference"
+	"spire/internal/sim"
+)
+
+func testSubstrate(t *testing.T) *core.Substrate {
+	t.Helper()
+	s, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := core.New(core.Config{
+		Readers:   s.Readers(),
+		Locations: s.Locations(),
+		Inference: inference.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+// TestJitterBackoffBounds pins the jitter envelope: every draw lands in
+// [d/2, d], so jitter can spread a thundering herd but never extend the
+// configured backoff.
+func TestJitterBackoffBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []time.Duration{
+		time.Millisecond, 5 * time.Millisecond, 50 * time.Millisecond,
+		time.Second, 3 * time.Second,
+	} {
+		for i := 0; i < 1000; i++ {
+			got := jitterBackoff(rng, d)
+			if got < d/2 || got > d {
+				t.Fatalf("jitterBackoff(%v) = %v, want in [%v, %v]", d, got, d/2, d)
+			}
+		}
+	}
+	// Degenerate durations pass through untouched.
+	for _, d := range []time.Duration{0, 1} {
+		if got := jitterBackoff(rng, d); got != d {
+			t.Errorf("jitterBackoff(%v) = %v, want %v", d, got, d)
+		}
+	}
+}
+
+// TestJitterBackoffDeterministicSeed pins that the jitter sequence is a
+// pure function of the seed: same seed, same schedule (the property the
+// transparency suite leans on), different seeds, different schedules
+// (the property the thundering-herd fix leans on).
+func TestJitterBackoffDeterministicSeed(t *testing.T) {
+	sequence := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var out []time.Duration
+		d := 50 * time.Millisecond
+		for i := 0; i < 20; i++ {
+			out = append(out, jitterBackoff(rng, d))
+			if d *= 2; d > 3*time.Second {
+				d = 3 * time.Second
+			}
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := sequence(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("seeds 42 and 43 produced identical 20-draw schedules")
+	}
+}
+
+// TestWorkerJitterSeedPlumbed pins that WorkerConfig.JitterSeed reaches
+// the worker's RNG: two workers built with the same explicit seed share
+// a jitter schedule, so a test (or a reproduction of a production
+// incident) can replay the exact reconnect timing.
+func TestWorkerJitterSeedPlumbed(t *testing.T) {
+	mk := func(seed int64) *Worker {
+		w, err := NewWorker(WorkerConfig{
+			Zone:       3,
+			Addr:       "127.0.0.1:1",
+			Substrate:  testSubstrate(t),
+			JitterSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w1, w2 := mk(7), mk(7)
+	for i := 0; i < 10; i++ {
+		d := time.Duration(50<<i) * time.Millisecond
+		if a, b := jitterBackoff(w1.rng, d), jitterBackoff(w2.rng, d); a != b {
+			t.Fatalf("same JitterSeed diverged at draw %d: %v vs %v", i, a, b)
+		}
+	}
+	// Seed 0 derives a per-process seed; two zero-seed workers built at
+	// different nanoseconds almost surely differ, but that is inherently
+	// timing-dependent, so only the explicit-seed contract is pinned.
+	if mk(0).cfg.JitterSeed == 0 {
+		t.Error("JitterSeed 0 was not replaced with a derived seed")
+	}
+}

@@ -3,6 +3,7 @@ package federate
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"slices"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"spire/internal/event"
 	"spire/internal/model"
 	"spire/internal/stream"
+	"spire/internal/trace"
 )
 
 // CoordinatorConfig configures the federation coordinator.
@@ -29,8 +31,18 @@ type CoordinatorConfig struct {
 	// (default 30s). Progress means any zone delivering any batch.
 	StragglerTimeout time.Duration
 
-	// Logf, when set, receives connection and progress diagnostics.
+	// StragglerWarnFraction is the fraction of StragglerTimeout after
+	// which a stalled barrier wait emits a warn-level near-miss naming
+	// the missing zones — the operator's heads-up before the fatal
+	// timeout (default 0.5; clamped to (0, 1)).
+	StragglerWarnFraction float64
+
+	// Logf, when set, receives connection and progress diagnostics in
+	// printf form. Log, when set, receives the same transitions as
+	// structured records (and near-miss warnings at warn level); the two
+	// are independent and either may be nil.
 	Logf func(format string, args ...any)
+	Log  *slog.Logger
 }
 
 // zoneConn tracks one zone's delivery and ack state.
@@ -41,9 +53,16 @@ type zoneConn struct {
 	fin     bool
 	finAt   model.Epoch
 
-	mu        sync.Mutex // guards writes to conn and finalSent
-	conn      net.Conn   // live connection, if any
-	finalSent bool       // the final epoch's mark reached this zone (Ack or HelloAck)
+	// Observability bookkeeping, guarded by the coordinator mutex like
+	// the delivery state above.
+	nearMisses   int64
+	lastDelivery time.Time
+
+	mu            sync.Mutex // guards writes to conn and the fields below
+	conn          net.Conn   // live connection, if any
+	finalSent     bool       // the final epoch's mark reached this zone (Ack or HelloAck)
+	everConnected bool       // a Hello handshake has completed at least once
+	connects      int64      // completed handshakes, reconnects included
 }
 
 // Coordinator accepts zone-worker connections, aligns their per-epoch
@@ -52,11 +71,18 @@ type zoneConn struct {
 type Coordinator struct {
 	cfg    CoordinatorConfig
 	merger *Merger
+	tel    *CoordinatorInstruments
+	ctrace *trace.ConnRecorder
 
 	mu     sync.Mutex
 	zones  []*zoneConn
 	notify chan struct{}
 	final  model.Epoch // the final merged epoch, once known (else EpochNone)
+
+	barrier      model.Epoch // epoch the barrier is merging or waiting for
+	mergedEpochs int64
+	nearMisses   int64
+	lingerSecs   float64
 
 	events int64
 }
@@ -69,15 +95,19 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.StragglerTimeout <= 0 {
 		cfg.StragglerTimeout = 30 * time.Second
 	}
+	if cfg.StragglerWarnFraction <= 0 || cfg.StragglerWarnFraction >= 1 {
+		cfg.StragglerWarnFraction = 0.5
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		merger: NewMerger(),
-		zones:  make([]*zoneConn, cfg.Zones),
-		notify: make(chan struct{}, 1),
-		final:  model.EpochNone,
+		cfg:     cfg,
+		merger:  NewMerger(),
+		zones:   make([]*zoneConn, cfg.Zones),
+		notify:  make(chan struct{}, 1),
+		final:   model.EpochNone,
+		barrier: model.EpochNone,
 	}
 	for z := range c.zones {
 		c.zones[z] = &zoneConn{
@@ -90,12 +120,21 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	return c, nil
 }
 
+// TraceConn attaches a connection flight recorder; nil detaches. Call
+// before Serve.
+func (c *Coordinator) TraceConn(rec *trace.ConnRecorder) { c.ctrace = rec }
+
 // MergedEvents reports the number of events merged so far.
 func (c *Coordinator) MergedEvents() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.events
 }
+
+// timed reports whether the coordinator should read the clock for
+// latency metrics — the same gating contract as the epoch pipeline:
+// uninstrumented runs take no timing branches.
+func (c *Coordinator) timed() bool { return c.tel != nil || c.ctrace != nil }
 
 // Serve accepts workers on ln and merges until every zone has delivered
 // its Fin and the final epoch is merged, then returns nil. It returns an
@@ -124,16 +163,23 @@ func (c *Coordinator) acceptLoop(ctx context.Context, ln net.Listener) {
 // handleConn serves one worker connection: handshake, then deliveries.
 func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
-	hello, err := stream.ReadFrame(conn)
+	hello, n, err := stream.ReadFrameCount(conn)
 	if err != nil || hello.Type != stream.FrameHello {
 		c.cfg.Logf("coordinator: bad handshake from %v: %v", conn.RemoteAddr(), err)
+		if c.cfg.Log != nil {
+			c.cfg.Log.Warn("bad handshake", "remote", fmt.Sprint(conn.RemoteAddr()), "err", err)
+		}
 		return
 	}
 	if hello.Zone < 0 || hello.Zone >= c.cfg.Zones {
 		c.cfg.Logf("coordinator: zone %d out of range [0,%d)", hello.Zone, c.cfg.Zones)
+		if c.cfg.Log != nil {
+			c.cfg.Log.Warn("zone out of range", "zone", hello.Zone, "zones", c.cfg.Zones)
+		}
 		return
 	}
 	zc := c.zones[hello.Zone]
+	c.tel.zoneRxBytes(hello.Zone).Add(int64(n))
 
 	c.mu.Lock()
 	acked := zc.acked
@@ -144,6 +190,8 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		zc.conn.Close() // a reconnecting worker replaces its old link
 	}
 	zc.conn = conn
+	zc.everConnected = true
+	zc.connects++
 	err = stream.WriteFrame(conn, &stream.Frame{Type: stream.FrameHelloAck, Epoch: acked})
 	if err == nil && final != model.EpochNone && acked >= final {
 		zc.finalSent = true // the HelloAck itself carried the final mark
@@ -152,28 +200,45 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	if err != nil {
 		return
 	}
+	c.tel.zoneConnects(hello.Zone).Inc()
+	c.tel.zoneConnected(hello.Zone).Set(1)
+	c.ctrace.Record(trace.ConnEvent{Kind: trace.ConnConnect, Zone: hello.Zone, Epoch: acked,
+		Detail: "handshake complete; acked mark sent"})
 	c.cfg.Logf("coordinator: zone %d connected (acked through %d)", hello.Zone, acked)
+	if c.cfg.Log != nil {
+		c.cfg.Log.Info("zone connected", "zone", hello.Zone, "acked", int64(acked), "worker_epoch", int64(hello.Epoch))
+	}
 
 	defer func() {
 		zc.mu.Lock()
 		if zc.conn == conn {
 			zc.conn = nil
+			c.tel.zoneConnected(hello.Zone).Set(0)
 		}
 		zc.mu.Unlock()
 	}()
 	for {
-		f, err := stream.ReadFrame(conn)
+		f, n, err := stream.ReadFrameCount(conn)
 		if err != nil {
 			if ctx.Err() == nil {
 				c.cfg.Logf("coordinator: zone %d connection lost: %v", hello.Zone, err)
+				if c.cfg.Log != nil {
+					c.cfg.Log.Warn("zone connection lost", "zone", hello.Zone, "err", err)
+				}
+				c.ctrace.Record(trace.ConnEvent{Kind: trace.ConnLost, Zone: hello.Zone,
+					Detail: err.Error()})
 			}
 			return
 		}
+		c.tel.zoneRxBytes(hello.Zone).Add(int64(n))
 		switch f.Type {
 		case stream.FrameEpoch, stream.FrameFin:
 			c.deliver(ZoneID(hello.Zone), f)
 		default:
 			c.cfg.Logf("coordinator: zone %d sent unexpected %s frame", hello.Zone, f.Type)
+			if c.cfg.Log != nil {
+				c.cfg.Log.Warn("unexpected frame", "zone", hello.Zone, "frame", f.Type.String())
+			}
 			return
 		}
 	}
@@ -185,6 +250,7 @@ func (c *Coordinator) deliver(zone ZoneID, f *stream.Frame) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	zc := c.zones[zone]
+	zc.lastDelivery = time.Now()
 	if f.Epoch <= zc.highest {
 		return // duplicate of an epoch already delivered
 	}
@@ -193,10 +259,39 @@ func (c *Coordinator) deliver(zone ZoneID, f *stream.Frame) {
 	if f.Type == stream.FrameFin {
 		zc.fin = true
 		zc.finAt = f.Epoch
+		if c.cfg.Log != nil {
+			c.cfg.Log.Info("zone finished", "zone", int(zone), "epoch", int64(f.Epoch))
+		}
+	}
+	if c.tel != nil {
+		c.tel.zoneEpochs(int(zone)).Inc()
+		c.tel.zoneEvents(int(zone)).Add(int64(len(f.Events)))
+		c.updateZoneGaugesLocked()
 	}
 	select {
 	case c.notify <- struct{}{}:
 	default:
+	}
+}
+
+// updateZoneGaugesLocked refreshes the per-zone lag and pending gauges
+// from the delivery state. Caller holds c.mu; only called instrumented.
+func (c *Coordinator) updateZoneGaugesLocked() {
+	leader := model.EpochNone
+	for _, zc := range c.zones {
+		if zc.highest > leader {
+			leader = zc.highest
+		}
+	}
+	for z, zc := range c.zones {
+		var lag int64
+		if zc.highest != model.EpochNone && leader > zc.highest {
+			lag = int64(leader - zc.highest)
+		} else if zc.highest == model.EpochNone && leader != model.EpochNone {
+			lag = int64(leader) + 1
+		}
+		c.tel.zoneLag(z).Set(lag)
+		c.tel.zonePending(z).Set(int64(len(zc.batches)))
 	}
 }
 
@@ -206,10 +301,18 @@ func (c *Coordinator) deliver(zone ZoneID, f *stream.Frame) {
 // acked to every zone.
 func (c *Coordinator) mergeLoop(ctx context.Context) error {
 	next := model.EpochNone // next epoch to merge; EpochNone until known
+	var wantSince time.Time // when the barrier started wanting `next`
+	if c.timed() {
+		wantSince = time.Now()
+	}
 	for {
 		c.mu.Lock()
 		if next == model.EpochNone {
 			next = c.firstEpochLocked()
+		}
+		c.barrier = next
+		if c.tel != nil && next != model.EpochNone {
+			c.tel.BarrierEpoch.Set(int64(next))
 		}
 		ready := next != model.EpochNone && c.readyLocked(next)
 		final := ready && c.allFinAtLocked(next)
@@ -220,6 +323,9 @@ func (c *Coordinator) mergeLoop(ctx context.Context) error {
 				batches[z] = zc.batches[next]
 				delete(zc.batches, next)
 			}
+			if c.tel != nil {
+				c.updateZoneGaugesLocked()
+			}
 		}
 		c.mu.Unlock()
 
@@ -228,6 +334,13 @@ func (c *Coordinator) mergeLoop(ctx context.Context) error {
 				return err
 			}
 			continue
+		}
+
+		if c.tel != nil && !wantSince.IsZero() {
+			// Time-at-barrier for this epoch: from the moment the barrier
+			// began wanting it (right after the previous merge) until every
+			// zone's batch arrived and the merge starts.
+			c.tel.BarrierWait.Observe(time.Since(wantSince).Seconds())
 		}
 
 		var merged []event.Event
@@ -249,6 +362,7 @@ func (c *Coordinator) mergeLoop(ctx context.Context) error {
 
 		c.mu.Lock()
 		c.events += int64(len(merged))
+		c.mergedEpochs++
 		for _, zc := range c.zones {
 			if next > zc.acked {
 				zc.acked = next
@@ -258,6 +372,10 @@ func (c *Coordinator) mergeLoop(ctx context.Context) error {
 			c.final = next
 		}
 		c.mu.Unlock()
+		if c.tel != nil {
+			c.tel.MergedEpochs.Inc()
+			c.tel.MergedEvents.Add(int64(len(merged)))
+		}
 		if c.cfg.Sink != nil {
 			if err := c.cfg.Sink(next, merged); err != nil {
 				return fmt.Errorf("federate: coordinator sink at epoch %d: %w", next, err)
@@ -266,10 +384,16 @@ func (c *Coordinator) mergeLoop(ctx context.Context) error {
 		c.ack(next)
 		if final {
 			c.cfg.Logf("coordinator: merged final epoch %d; %d events total", next, c.MergedEvents())
+			if c.cfg.Log != nil {
+				c.cfg.Log.Info("final epoch merged", "epoch", int64(next), "events", c.MergedEvents())
+			}
 			c.lingerForFinalAcks(ctx)
 			return nil
 		}
 		next++
+		if c.timed() {
+			wantSince = time.Now()
+		}
 	}
 }
 
@@ -313,19 +437,68 @@ func (c *Coordinator) allFinAtLocked(epoch model.Epoch) bool {
 
 // waitDelivery blocks until some zone delivers a batch, or the straggler
 // timeout expires — in which case the error names the zones holding up
-// the barrier for the wanted epoch.
+// the barrier for the wanted epoch. A wait that crosses the warn
+// fraction of the timeout first raises a near-miss: the missing zones
+// are named at warn level and counted, so an operator (or an alert on
+// spire_fed_straggler_near_miss_total) sees the culprit before the run
+// dies.
 func (c *Coordinator) waitDelivery(ctx context.Context, wanted model.Epoch) error {
-	select {
-	case <-c.notify:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-time.After(c.cfg.StragglerTimeout):
-		return c.stragglerError(wanted)
+	warnAfter := time.Duration(float64(c.cfg.StragglerTimeout) * c.cfg.StragglerWarnFraction)
+	warn := time.NewTimer(warnAfter)
+	defer warn.Stop()
+	full := time.NewTimer(c.cfg.StragglerTimeout)
+	defer full.Stop()
+	warnC := warn.C
+	for {
+		select {
+		case <-c.notify:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-warnC:
+			c.nearMiss(wanted, warnAfter)
+			warnC = nil // one near-miss per stalled wait
+		case <-full.C:
+			missing := c.missingZones(wanted)
+			c.ctrace.Record(trace.ConnEvent{Kind: trace.ConnBarrierStall, Epoch: wanted,
+				Detail:     fmt.Sprintf("zones %v", missing),
+				DurationMS: float64(c.cfg.StragglerTimeout.Milliseconds())})
+			if c.cfg.Log != nil {
+				c.cfg.Log.Error("barrier straggler timeout", "epoch", int64(wanted),
+					"zones", fmt.Sprint(missing), "waited", c.cfg.StragglerTimeout.String())
+			}
+			return c.stragglerError(wanted, missing)
+		}
 	}
 }
 
-func (c *Coordinator) stragglerError(wanted model.Epoch) error {
+// nearMiss records a barrier wait that crossed the warn fraction of the
+// straggler timeout, naming the zones still missing the wanted epoch.
+func (c *Coordinator) nearMiss(wanted model.Epoch, waited time.Duration) {
+	missing := c.missingZones(wanted)
+	c.mu.Lock()
+	c.nearMisses++
+	for _, z := range missing {
+		c.zones[z].nearMisses++
+	}
+	c.mu.Unlock()
+	for _, z := range missing {
+		c.tel.nearMiss(z).Inc()
+	}
+	c.ctrace.Record(trace.ConnEvent{Kind: trace.ConnNearMiss, Epoch: wanted,
+		Detail:     fmt.Sprintf("zones %v", missing),
+		DurationMS: float64(waited.Milliseconds())})
+	c.cfg.Logf("coordinator: barrier near-miss: epoch %d still missing from zones %v after %v (timeout %v)",
+		wanted, missing, waited, c.cfg.StragglerTimeout)
+	if c.cfg.Log != nil {
+		c.cfg.Log.Warn("barrier near-miss", "epoch", int64(wanted), "zones", fmt.Sprint(missing),
+			"waited", waited.String(), "timeout", c.cfg.StragglerTimeout.String())
+	}
+}
+
+// missingZones lists the zones that have not delivered the wanted epoch
+// (or, before the first epoch is known, anything at all).
+func (c *Coordinator) missingZones(wanted model.Epoch) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var missing []int
@@ -339,6 +512,10 @@ func (c *Coordinator) stragglerError(wanted model.Epoch) error {
 		}
 	}
 	slices.Sort(missing)
+	return missing
+}
+
+func (c *Coordinator) stragglerError(wanted model.Epoch, missing []int) error {
 	if wanted == model.EpochNone {
 		return fmt.Errorf("federate: epoch barrier stalled after %v waiting for first batch from zones %v",
 			c.cfg.StragglerTimeout, missing)
@@ -359,8 +536,12 @@ func (c *Coordinator) ack(epoch model.Epoch) {
 		if zc.conn != nil {
 			if err := stream.WriteFrame(zc.conn, &stream.Frame{Type: stream.FrameAck, Epoch: epoch}); err != nil {
 				c.cfg.Logf("coordinator: ack %d to zone %d: %v", epoch, z, err)
+				if c.cfg.Log != nil {
+					c.cfg.Log.Warn("ack write failed", "zone", z, "epoch", int64(epoch), "err", err)
+				}
 				zc.conn.Close()
 				zc.conn = nil
+				c.tel.zoneConnected(z).Set(0)
 			} else if final != model.EpochNone && epoch >= final {
 				zc.finalSent = true
 			}
@@ -376,9 +557,23 @@ func (c *Coordinator) ack(epoch model.Epoch) {
 // connection was down at the final merge would retry against a vanished
 // coordinator forever.
 func (c *Coordinator) lingerForFinalAcks(ctx context.Context) {
+	start := time.Now()
 	deadline := time.After(c.cfg.StragglerTimeout)
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
+	record := func(pending []int) {
+		lingered := time.Since(start)
+		c.mu.Lock()
+		c.lingerSecs = lingered.Seconds()
+		c.mu.Unlock()
+		if c.tel != nil {
+			c.tel.LingerMS.Set(lingered.Milliseconds())
+			c.tel.LingerMissed.Add(int64(len(pending)))
+		}
+		c.ctrace.Record(trace.ConnEvent{Kind: trace.ConnFinalLinger,
+			Detail:     fmt.Sprintf("pending zones %v", pending),
+			DurationMS: float64(lingered.Milliseconds())})
+	}
 	for {
 		var pending []int
 		for z, zc := range c.zones {
@@ -389,13 +584,19 @@ func (c *Coordinator) lingerForFinalAcks(ctx context.Context) {
 			zc.mu.Unlock()
 		}
 		if len(pending) == 0 {
+			record(nil)
 			return
 		}
 		select {
 		case <-ctx.Done():
+			record(pending)
 			return
 		case <-deadline:
+			record(pending)
 			c.cfg.Logf("coordinator: zones %v never received the final ack; exiting anyway", pending)
+			if c.cfg.Log != nil {
+				c.cfg.Log.Warn("final ack undelivered", "zones", fmt.Sprint(pending))
+			}
 			return
 		case <-tick.C:
 		}

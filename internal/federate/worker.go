@@ -6,14 +6,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"math/rand"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"spire/internal/core"
 	"spire/internal/event"
 	"spire/internal/model"
 	"spire/internal/stream"
+	"spire/internal/telemetry"
+	"spire/internal/trace"
 )
 
 // ObservationSource yields one zone's per-epoch observations in epoch
@@ -57,18 +62,27 @@ type WorkerConfig struct {
 	AckTimeout time.Duration
 
 	// BaseBackoff and MaxBackoff shape the capped exponential backoff
-	// between connection attempts (defaults 50ms and 3s).
+	// between connection attempts (defaults 50ms and 3s). Each sleep is
+	// jittered uniformly over [d/2, d] so a cluster of zones losing one
+	// coordinator does not redial in lockstep; JitterSeed pins the
+	// jitter sequence for tests (0 derives a seed from the clock and
+	// zone).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	JitterSeed  int64
 
-	// Logf, when set, receives progress and retry diagnostics.
+	// Logf, when set, receives progress and retry diagnostics in printf
+	// form. Log, when set, receives connection transitions as structured
+	// records; either or both may be nil.
 	Logf func(format string, args ...any)
+	Log  *slog.Logger
 }
 
 type epochBatch struct {
 	epoch  model.Epoch
 	events []event.Event
 	fin    bool
+	sentAt time.Time // first submit time, for ack RTT; zero uninstrumented
 }
 
 // Worker streams one zone substrate's compressed output to the
@@ -76,6 +90,10 @@ type epochBatch struct {
 // checkpoint-on-ack crash recovery. Use one goroutine per worker.
 type Worker struct {
 	cfg WorkerConfig
+	rng *rand.Rand
+
+	tel    *WorkerInstruments
+	ctrace *trace.ConnRecorder
 
 	conn  net.Conn
 	acks  chan model.Epoch
@@ -86,6 +104,10 @@ type Worker struct {
 
 	snapEpoch model.Epoch // epoch of the in-memory snapshot (EpochNone: none)
 	snapData  []byte
+	snapSecs  float64 // capture latency of the in-memory snapshot
+
+	statusMu sync.Mutex
+	status   WorkerStatus
 }
 
 // NewWorker builds a worker; Run drives it.
@@ -121,10 +143,47 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 3 * time.Second
 	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = time.Now().UnixNano() ^ (int64(cfg.Zone) << 32)
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Worker{cfg: cfg, lastAcked: model.EpochNone, snapEpoch: model.EpochNone}, nil
+	w := &Worker{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.JitterSeed)),
+		lastAcked: model.EpochNone,
+		snapEpoch: model.EpochNone,
+	}
+	w.status = WorkerStatus{
+		Zone:            int(cfg.Zone),
+		State:           ZoneConnecting,
+		LastProcessed:   model.EpochNone,
+		LastAcked:       model.EpochNone,
+		AckWindow:       cfg.AckWindow,
+		CheckpointEpoch: model.EpochNone,
+	}
+	return w, nil
+}
+
+// TraceConn attaches a connection flight recorder; nil detaches. Call
+// before Run.
+func (w *Worker) TraceConn(rec *trace.ConnRecorder) { w.ctrace = rec }
+
+// timed reports whether the worker should read the clock for latency
+// metrics; uninstrumented runs take no timing branches.
+func (w *Worker) timed() bool { return w.tel != nil || w.ctrace != nil }
+
+// jitterBackoff spreads one backoff sleep uniformly over [d/2, d]
+// (full-jitter on the upper half). The cap keeps the upper bound at the
+// configured backoff, so the jittered schedule is never slower than the
+// unjittered one.
+func jitterBackoff(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(d-half)+1))
 }
 
 // Run processes the source to completion: every epoch goes through the
@@ -159,6 +218,7 @@ func (w *Worker) Run(ctx context.Context, src ObservationSource) error {
 			return fmt.Errorf("federate: zone %d epoch %d: %w", w.cfg.Zone, obs.Time, err)
 		}
 		last = obs.Time
+		w.setStatus(func(s *WorkerStatus) { s.LastProcessed = obs.Time })
 		if err := w.submit(ctx, epochBatch{epoch: obs.Time, events: out.Events}); err != nil {
 			return err
 		}
@@ -169,6 +229,7 @@ func (w *Worker) Run(ctx context.Context, src ObservationSource) error {
 
 	end := last + 1
 	fin := epochBatch{epoch: end, events: w.cfg.Substrate.Close(end), fin: true}
+	w.setStatus(func(s *WorkerStatus) { s.LastProcessed = end })
 	if err := w.submit(ctx, fin); err != nil {
 		return err
 	}
@@ -177,6 +238,10 @@ func (w *Worker) Run(ctx context.Context, src ObservationSource) error {
 		if err := w.awaitAck(ctx); err != nil {
 			return err
 		}
+	}
+	w.setStatus(func(s *WorkerStatus) { s.State = ZoneFinished })
+	if w.cfg.Log != nil {
+		w.cfg.Log.Info("zone run complete", "zone", int(w.cfg.Zone), "final_epoch", int64(end))
 	}
 	return nil
 }
@@ -187,7 +252,12 @@ func (w *Worker) submit(ctx context.Context, b epochBatch) error {
 	if b.epoch <= w.lastAcked {
 		return nil // already merged before a restart; nothing to send
 	}
+	if w.timed() {
+		b.sentAt = time.Now()
+	}
 	w.buffer = append(w.buffer, b)
+	w.tel.epochsSubmitted().Inc()
+	w.noteReplayDepth()
 	if err := w.sendBatch(ctx, b); err != nil {
 		return err
 	}
@@ -197,6 +267,20 @@ func (w *Worker) submit(ctx context.Context, b epochBatch) error {
 		}
 	}
 	return nil
+}
+
+// noteReplayDepth refreshes the replay-depth gauge and high-water mark
+// from the current buffer.
+func (w *Worker) noteReplayDepth() {
+	depth := len(w.buffer)
+	w.tel.replayDepth().Set(int64(depth))
+	w.setStatus(func(s *WorkerStatus) {
+		s.ReplayDepth = depth
+		if depth > s.ReplayHighWater {
+			s.ReplayHighWater = depth
+			w.tel.replayHighWater().Set(int64(depth))
+		}
+	})
 }
 
 // sendBatch writes the batch, redialing until it succeeds or the context
@@ -211,6 +295,9 @@ func (w *Worker) sendBatch(ctx context.Context, b epochBatch) error {
 			return nil
 		} else {
 			w.cfg.Logf("zone %d: send epoch %d: %v; reconnecting", w.cfg.Zone, b.epoch, err)
+			if w.cfg.Log != nil {
+				w.cfg.Log.Warn("send failed", "zone", int(w.cfg.Zone), "epoch", int64(b.epoch), "err", err)
+			}
 			w.dropConn()
 		}
 	}
@@ -221,10 +308,13 @@ func (w *Worker) writeBatch(b epochBatch) error {
 	if b.fin {
 		typ = stream.FrameFin
 	}
-	return stream.WriteFrame(w.conn, &stream.Frame{Type: typ, Epoch: b.epoch, Events: b.events})
+	n, err := stream.WriteFrameCount(w.conn, &stream.Frame{Type: typ, Epoch: b.epoch, Events: b.events})
+	w.tel.txBytes().Add(int64(n))
+	return err
 }
 
-// ensureConn dials and handshakes with capped exponential backoff.
+// ensureConn dials and handshakes with capped exponential backoff,
+// jittered so sibling zones spread their retries.
 func (w *Worker) ensureConn(ctx context.Context) error {
 	if w.conn != nil {
 		return nil
@@ -238,11 +328,22 @@ func (w *Worker) ensureConn(ctx context.Context) error {
 		if err == nil {
 			return nil
 		}
-		w.cfg.Logf("zone %d: connect attempt %d: %v; retrying in %v", w.cfg.Zone, attempt+1, err, backoff)
+		w.tel.connectFailures().Inc()
+		w.setStatus(func(s *WorkerStatus) { s.ConnectFailures++ })
+		sleep := jitterBackoff(w.rng, backoff)
+		w.tel.backoffMS().Set(sleep.Milliseconds())
+		w.setStatus(func(s *WorkerStatus) { s.BackoffMS = sleep.Milliseconds() })
+		w.ctrace.Record(trace.ConnEvent{Kind: trace.ConnConnectFailed, Zone: int(w.cfg.Zone),
+			Detail: err.Error(), DurationMS: float64(sleep.Milliseconds())})
+		w.cfg.Logf("zone %d: connect attempt %d: %v; retrying in %v", w.cfg.Zone, attempt+1, err, sleep)
+		if w.cfg.Log != nil {
+			w.cfg.Log.Warn("connect failed", "zone", int(w.cfg.Zone), "attempt", attempt+1,
+				"err", err, "retry_in", sleep.String())
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		backoff *= 2
 		if backoff > w.cfg.MaxBackoff {
@@ -259,7 +360,7 @@ func (w *Worker) connectOnce(ctx context.Context) error {
 		return err
 	}
 	hello := &stream.Frame{Type: stream.FrameHello, Zone: int(w.cfg.Zone), Epoch: w.cfg.Substrate.LastEpoch()}
-	if err := stream.WriteFrame(conn, hello); err != nil {
+	if _, err := stream.WriteFrameCount(conn, hello); err != nil {
 		conn.Close()
 		return err
 	}
@@ -275,26 +376,54 @@ func (w *Worker) connectOnce(ctx context.Context) error {
 	w.conn = conn
 	w.acks = make(chan model.Epoch, 64)
 	w.rderr = make(chan error, 1)
-	go readAcks(conn, w.acks, w.rderr)
+	go readAcks(conn, w.acks, w.rderr, w.tel.rxBytes())
 	w.handleAck(f.Epoch)
+	w.tel.connects().Inc()
+	w.tel.connected().Set(1)
+	w.tel.backoffMS().Set(0)
+	w.setStatus(func(s *WorkerStatus) {
+		s.State = ZoneStreaming
+		s.Connects++
+		s.BackoffMS = 0
+	})
+	w.ctrace.Record(trace.ConnEvent{Kind: trace.ConnConnect, Zone: int(w.cfg.Zone), Epoch: f.Epoch,
+		Detail: "handshake complete"})
+	if w.cfg.Log != nil {
+		w.cfg.Log.Info("connected", "zone", int(w.cfg.Zone), "coordinator_acked", int64(f.Epoch),
+			"replaying", len(w.buffer))
+	}
 	// Re-send whatever the coordinator is missing, oldest first.
+	var replayStart time.Time
+	if w.timed() && len(w.buffer) > 0 {
+		replayStart = time.Now()
+	}
 	for _, b := range w.buffer {
 		if err := w.writeBatch(b); err != nil {
 			w.dropConn()
 			return err
 		}
 	}
+	if n := len(w.buffer); n > 0 {
+		w.tel.replayedEpochs().Add(int64(n))
+		var tookMS float64
+		if !replayStart.IsZero() {
+			tookMS = float64(time.Since(replayStart).Milliseconds())
+		}
+		w.ctrace.Record(trace.ConnEvent{Kind: trace.ConnReplay, Zone: int(w.cfg.Zone),
+			Epoch: w.buffer[n-1].epoch, Detail: fmt.Sprintf("%d epochs re-sent", n), DurationMS: tookMS})
+	}
 	return nil
 }
 
 // readAcks pumps Ack frames from the connection until it fails.
-func readAcks(conn net.Conn, acks chan<- model.Epoch, rderr chan<- error) {
+func readAcks(conn net.Conn, acks chan<- model.Epoch, rderr chan<- error, rx *telemetry.Counter) {
 	for {
-		f, err := stream.ReadFrame(conn)
+		f, n, err := stream.ReadFrameCount(conn)
 		if err != nil {
 			rderr <- err
 			return
 		}
+		rx.Add(int64(n))
 		if f.Type == stream.FrameAck {
 			// Acks are cumulative high-water marks, so dropping one when
 			// the buffer is full is harmless — and it keeps this goroutine
@@ -314,6 +443,12 @@ func (w *Worker) dropConn() {
 		w.conn = nil
 		w.acks = nil
 		w.rderr = nil
+		w.tel.connected().Set(0)
+		w.setStatus(func(s *WorkerStatus) {
+			if s.State == ZoneStreaming {
+				s.State = ZoneLost
+			}
+		})
 	}
 }
 
@@ -351,10 +486,21 @@ func (w *Worker) awaitAck(ctx context.Context) error {
 		// awaitAck redials.
 		w.drainAcks()
 		w.cfg.Logf("zone %d: connection lost waiting for ack: %v", w.cfg.Zone, err)
+		if w.cfg.Log != nil {
+			w.cfg.Log.Warn("connection lost", "zone", int(w.cfg.Zone), "err", err)
+		}
+		w.ctrace.Record(trace.ConnEvent{Kind: trace.ConnLost, Zone: int(w.cfg.Zone), Detail: err.Error()})
 		w.dropConn()
 		return nil
 	case <-time.After(w.cfg.AckTimeout):
 		w.cfg.Logf("zone %d: no ack within %v; reconnecting", w.cfg.Zone, w.cfg.AckTimeout)
+		if w.cfg.Log != nil {
+			w.cfg.Log.Warn("ack stall", "zone", int(w.cfg.Zone), "timeout", w.cfg.AckTimeout.String())
+		}
+		w.tel.ackStalls().Inc()
+		w.setStatus(func(s *WorkerStatus) { s.AckStalls++ })
+		w.ctrace.Record(trace.ConnEvent{Kind: trace.ConnAckStall, Zone: int(w.cfg.Zone),
+			DurationMS: float64(w.cfg.AckTimeout.Milliseconds())})
 		w.dropConn()
 		return nil
 	case <-ctx.Done():
@@ -371,9 +517,15 @@ func (w *Worker) handleAck(a model.Epoch) {
 	w.lastAcked = a
 	i := 0
 	for i < len(w.buffer) && w.buffer[i].epoch <= a {
+		if !w.buffer[i].sentAt.IsZero() {
+			w.tel.ackRTT().Observe(time.Since(w.buffer[i].sentAt).Seconds())
+		}
 		i++
 	}
+	w.tel.epochsAcked().Add(int64(i))
 	w.buffer = w.buffer[i:]
+	w.setStatus(func(s *WorkerStatus) { s.LastAcked = a })
+	w.noteReplayDepth()
 	w.persistSnapshot()
 }
 
@@ -384,13 +536,24 @@ func (w *Worker) takeSnapshot(epoch model.Epoch) {
 	if w.cfg.CheckpointPath == "" {
 		return
 	}
+	var start time.Time
+	if w.timed() {
+		start = time.Now()
+	}
 	var buf bytes.Buffer
 	if err := w.cfg.Substrate.Snapshot(&buf); err != nil {
 		w.cfg.Logf("zone %d: snapshot at epoch %d: %v", w.cfg.Zone, epoch, err)
+		if w.cfg.Log != nil {
+			w.cfg.Log.Warn("snapshot failed", "zone", int(w.cfg.Zone), "epoch", int64(epoch), "err", err)
+		}
 		return
 	}
 	w.snapEpoch = epoch
 	w.snapData = buf.Bytes()
+	w.snapSecs = 0
+	if !start.IsZero() {
+		w.snapSecs = time.Since(start).Seconds()
+	}
 	// The ack may already be past us (acks can outrun snapshots when the
 	// window is deep); persist immediately in that case.
 	w.persistSnapshot()
@@ -403,11 +566,31 @@ func (w *Worker) persistSnapshot() {
 		return
 	}
 	if w.snapEpoch != model.EpochNone && w.snapEpoch <= w.lastAcked {
+		var start time.Time
+		if w.timed() {
+			start = time.Now()
+		}
 		if err := writeFileAtomic(w.cfg.CheckpointPath, w.snapData); err != nil {
 			w.cfg.Logf("zone %d: checkpoint write: %v", w.cfg.Zone, err)
+			if w.cfg.Log != nil {
+				w.cfg.Log.Warn("checkpoint write failed", "zone", int(w.cfg.Zone), "err", err)
+			}
 			return
 		}
-		w.cfg.Logf("zone %d: checkpoint at epoch %d persisted", w.cfg.Zone, w.snapEpoch)
+		size := len(w.snapData)
+		epoch := w.snapEpoch
+		if w.tel != nil {
+			w.tel.Checkpoints.Inc()
+			w.tel.CheckpointBytes.Set(int64(size))
+			w.tel.CheckpointSecs.Observe(w.snapSecs + time.Since(start).Seconds())
+		}
+		w.setStatus(func(s *WorkerStatus) { s.CheckpointEpoch = epoch })
+		w.ctrace.Record(trace.ConnEvent{Kind: trace.ConnCheckpoint, Zone: int(w.cfg.Zone),
+			Epoch: epoch, Detail: fmt.Sprintf("%d bytes", size)})
+		w.cfg.Logf("zone %d: checkpoint at epoch %d persisted", w.cfg.Zone, epoch)
+		if w.cfg.Log != nil {
+			w.cfg.Log.Info("checkpoint persisted", "zone", int(w.cfg.Zone), "epoch", int64(epoch), "bytes", size)
+		}
 		w.snapEpoch = model.EpochNone
 		w.snapData = nil
 	}

@@ -1,0 +1,58 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"spire/internal/trace"
+)
+
+// EnableClusterStatus registers GET /v1/cluster serving status() as
+// JSON — federate.ClusterStatus on a coordinator, federate.WorkerStatus
+// on a zone worker. The function is typed any so the handler does not
+// depend on the federate package; it must be safe to call concurrently
+// with the run it observes (both Status methods are).
+func (h *Handler) EnableClusterStatus(status func() any) *Handler {
+	h.mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, status())
+	})
+	return h
+}
+
+// EnableHealth registers the probe endpoints:
+//
+//	/healthz  liveness — 200 "ok" whenever the process serves HTTP
+//	/readyz   readiness — 200 "ok" when ready() returns nil, else 503
+//	          with the error text (coordinator: zones yet to say Hello;
+//	          worker: link down and why)
+//
+// A nil ready makes /readyz unconditionally ready.
+func (h *Handler) EnableHealth(ready func() error) *Handler {
+	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	h.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return h
+}
+
+// EnableConnTrace registers GET /debug/fedtrace serving the federate
+// connection flight recorder: the retained connect/replay/stall events,
+// oldest first, plus the overwrite count.
+func (h *Handler) EnableConnTrace(rec *trace.ConnRecorder) *Handler {
+	h.mux.HandleFunc("/debug/fedtrace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"events":  rec.Events(),
+			"dropped": rec.Dropped(),
+		})
+	})
+	return h
+}

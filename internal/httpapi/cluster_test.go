@@ -1,0 +1,128 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spire/internal/trace"
+)
+
+func TestClusterStatusEndpoint(t *testing.T) {
+	type fakeStatus struct {
+		Zone int    `json:"zone"`
+		Mood string `json:"mood"`
+	}
+	h := New(nil, nil).EnableClusterStatus(func() any {
+		return fakeStatus{Zone: 3, Mood: "streaming"}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cluster: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got fakeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Zone != 3 || got.Mood != "streaming" {
+		t.Errorf("got %+v", got)
+	}
+
+	// The GET-only guard covers the cluster route too.
+	post, err := http.Post(srv.URL+"/v1/cluster", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/cluster: %d, want 405", post.StatusCode)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	ready := errors.New("zones [1 3] have not said hello")
+	h := New(nil, nil).EnableHealth(func() error { return ready })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Liveness is unconditional.
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	// Readiness surfaces the probe error until it clears.
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "have not said hello") {
+		t.Errorf("not-ready /readyz = %d %q", code, body)
+	}
+	ready = nil
+	if code, body := get("/readyz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("ready /readyz = %d %q", code, body)
+	}
+}
+
+func TestHealthNilReadyFunc(t *testing.T) {
+	srv := httptest.NewServer(New(nil, nil).EnableHealth(nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz with nil probe = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestConnTraceEndpoint(t *testing.T) {
+	rec := trace.NewConnRecorder(4)
+	rec.Record(trace.ConnEvent{Kind: trace.ConnConnect, Zone: 2, Detail: "handshake complete"})
+	rec.Record(trace.ConnEvent{Kind: trace.ConnNearMiss, Epoch: 600, Detail: "zones [1]"})
+	srv := httptest.NewServer(New(nil, nil).EnableConnTrace(rec))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/fedtrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Events  []trace.ConnEvent `json:"events"`
+		Dropped int64             `json:"dropped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 2 || got.Dropped != 0 {
+		t.Fatalf("got %d events dropped %d, want 2/0", len(got.Events), got.Dropped)
+	}
+	if got.Events[0].Kind != trace.ConnConnect || got.Events[1].Kind != trace.ConnNearMiss {
+		t.Errorf("event kinds %q, %q", got.Events[0].Kind, got.Events[1].Kind)
+	}
+	if got.Events[1].Epoch != 600 || got.Events[1].Detail != "zones [1]" {
+		t.Errorf("near-miss event %+v", got.Events[1])
+	}
+}

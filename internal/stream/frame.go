@@ -74,6 +74,14 @@ const MaxFramePayload = 1 << 26
 
 // WriteFrame encodes f as [uint32 length][type][body] and writes it.
 func WriteFrame(w io.Writer, f *Frame) error {
+	_, err := WriteFrameCount(w, f)
+	return err
+}
+
+// WriteFrameCount is WriteFrame reporting the wire bytes written
+// (header included) — the hook the federate byte counters use. The
+// encoding is identical; there is no instrumented wire format.
+func WriteFrameCount(w io.Writer, f *Frame) (int, error) {
 	body := make([]byte, 0, 64)
 	body = append(body, byte(f.Type))
 	switch f.Type {
@@ -88,44 +96,53 @@ func WriteFrame(w io.Writer, f *Frame) error {
 		var err error
 		for _, e := range f.Events {
 			if body, err = event.Append(body, e); err != nil {
-				return fmt.Errorf("stream: encode %s frame: %w", f.Type, err)
+				return 0, fmt.Errorf("stream: encode %s frame: %w", f.Type, err)
 			}
 		}
 	default:
-		return fmt.Errorf("stream: unknown frame type %d", f.Type)
+		return 0, fmt.Errorf("stream: unknown frame type %d", f.Type)
 	}
 	if len(body) > MaxFramePayload {
-		return fmt.Errorf("stream: %s frame payload %d exceeds limit", f.Type, len(body))
+		return 0, fmt.Errorf("stream: %s frame payload %d exceeds limit", f.Type, len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	n, err := w.Write(hdr[:])
+	if err != nil {
+		return n, err
 	}
-	_, err := w.Write(body)
-	return err
+	m, err := w.Write(body)
+	return n + m, err
 }
 
 // ReadFrame reads and decodes one frame. io.EOF at a frame boundary is
 // returned as-is; a partial frame yields io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader) (*Frame, error) {
+	f, _, err := ReadFrameCount(r)
+	return f, err
+}
+
+// ReadFrameCount is ReadFrame reporting the wire bytes consumed (header
+// included) — the hook the federate byte counters use.
+func ReadFrameCount(r io.Reader) (*Frame, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFramePayload {
-		return nil, fmt.Errorf("stream: frame payload %d exceeds limit", n)
+		return nil, 4, fmt.Errorf("stream: frame payload %d exceeds limit", n)
 	}
+	wire := 4 + int(n)
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return nil, 4, err
 	}
 	if len(body) < 1 {
-		return nil, fmt.Errorf("stream: empty frame")
+		return nil, wire, fmt.Errorf("stream: empty frame")
 	}
 	f := &Frame{Type: FrameType(body[0])}
 	body = body[1:]
@@ -138,18 +155,18 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	switch f.Type {
 	case FrameHello:
 		if err := need(12); err != nil {
-			return nil, err
+			return nil, wire, err
 		}
 		f.Zone = int(int32(binary.BigEndian.Uint32(body)))
 		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body[4:]))
 	case FrameHelloAck, FrameAck:
 		if err := need(8); err != nil {
-			return nil, err
+			return nil, wire, err
 		}
 		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body))
 	case FrameEpoch, FrameFin:
 		if err := need(12); err != nil {
-			return nil, err
+			return nil, wire, err
 		}
 		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body))
 		count := int(binary.BigEndian.Uint32(body[8:]))
@@ -158,16 +175,16 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 		for i := 0; i < count; i++ {
 			e, n, err := event.Decode(body)
 			if err != nil {
-				return nil, fmt.Errorf("stream: %s frame event %d: %w", f.Type, i, err)
+				return nil, wire, fmt.Errorf("stream: %s frame event %d: %w", f.Type, i, err)
 			}
 			f.Events = append(f.Events, e)
 			body = body[n:]
 		}
 		if len(body) != 0 {
-			return nil, fmt.Errorf("stream: %s frame has %d trailing bytes", f.Type, len(body))
+			return nil, wire, fmt.Errorf("stream: %s frame has %d trailing bytes", f.Type, len(body))
 		}
 	default:
-		return nil, fmt.Errorf("stream: unknown frame type %d", uint8(f.Type))
+		return nil, wire, fmt.Errorf("stream: unknown frame type %d", uint8(f.Type))
 	}
-	return f, nil
+	return f, wire, nil
 }

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConnRecorderNilOff(t *testing.T) {
+	var r *ConnRecorder
+	r.Record(ConnEvent{Kind: ConnConnect}) // must not panic
+	if got := r.Events(); got != nil {
+		t.Errorf("nil recorder Events() = %v, want nil", got)
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Errorf("nil recorder Dropped() = %d, want 0", got)
+	}
+}
+
+func TestConnRecorderRingOrder(t *testing.T) {
+	r := NewConnRecorder(4)
+	for i := 0; i < 3; i++ {
+		r.Record(ConnEvent{Kind: ConnConnect, Zone: i})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Zone != i {
+			t.Errorf("event %d zone %d, want %d (oldest first)", i, e.Zone, i)
+		}
+		if e.Wall.IsZero() {
+			t.Errorf("event %d has no wall-clock stamp", i)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped %d before the ring filled", r.Dropped())
+	}
+
+	// Overflow: the ring keeps the most recent 4, oldest first.
+	for i := 3; i < 10; i++ {
+		r.Record(ConnEvent{Kind: ConnLost, Zone: i})
+	}
+	evs = r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("after overflow got %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := 6 + i; e.Zone != want {
+			t.Errorf("event %d zone %d, want %d", i, e.Zone, want)
+		}
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+}
+
+func TestConnRecorderKeepsCallerWall(t *testing.T) {
+	r := NewConnRecorder(2)
+	stamp := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	r.Record(ConnEvent{Kind: ConnCheckpoint, Wall: stamp})
+	if got := r.Events()[0].Wall; !got.Equal(stamp) {
+		t.Errorf("Wall = %v, want caller's %v", got, stamp)
+	}
+}
+
+func TestConnRecorderConcurrent(t *testing.T) {
+	r := NewConnRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(ConnEvent{Kind: ConnReplay, Zone: g})
+				r.Events()
+				r.Dropped()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 16 {
+		t.Errorf("retained %d events, want full ring of 16", got)
+	}
+	if got := r.Dropped(); got != 8*100-16 {
+		t.Errorf("Dropped() = %d, want %d", got, 8*100-16)
+	}
+}
