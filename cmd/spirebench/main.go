@@ -212,6 +212,18 @@ func headline(exps []benchExperiment) map[string]float64 {
 				if v, ok := cell(t, "MergerIngest+telemetry", "s/Mevent"); ok {
 					h["zones_merge_instr_s_per_mevent"] = v
 				}
+				if v, ok := cell(t, "ParallelMerge", "s/Mevent"); ok {
+					h["zones_merge_par_s_per_mevent"] = v
+				}
+			case "zones-worker-feed":
+				// Gate the batch feed's per-zone ingest cost at the
+				// largest zone count — the quantity the columnar feed
+				// keeps flat as the deployment grows. The obs column is
+				// the contrast and scales with population by
+				// construction, so it is recorded but not gated.
+				if len(last.Values) == 3 {
+					h["zones_worker_feed_s_per_mevent"] = last.Values[0]
+				}
 			case "ingest-stages":
 				for _, r := range t.Rows {
 					if len(r.Values) != 2 {
@@ -253,6 +265,8 @@ func headline(exps []benchExperiment) map[string]float64 {
 						h["cep_dispatch_1k_s_per_mevent"] = r.Values[1]
 					case "BenchmarkCEPDispatch10kSubs":
 						h["cep_dispatch_10k_s_per_mevent"] = r.Values[1]
+					case "BenchmarkCEPDispatch100kSubs":
+						h["cep_dispatch_100k_s_per_mevent"] = r.Values[1]
 					}
 				}
 			case "infercomp":

@@ -55,13 +55,24 @@ var gatedKeys = []string{
 	// gating it keeps the cluster-health plane's per-epoch metric work
 	// out of the serial merge stage's budget.
 	"zones_merge_instr_s_per_mevent",
+	// The sharded parallel merge over the same slates (one MergeEpoch per
+	// epoch barrier) and the batch-feed worker's per-zone ingest cost at
+	// the largest zone count. The worker-feed number is what the columnar
+	// feed keeps flat as the deployment grows; the obs-feed contrast
+	// column scales with population by construction and stays
+	// informational.
+	"zones_merge_par_s_per_mevent",
+	"zones_worker_feed_s_per_mevent",
 	// Subscription-engine dispatch: seconds per million events with no
-	// subscriptions (the observer overhead every watched deployment pays)
-	// and at 10k subscriptions (the dense per-object alerting load). Both
+	// subscriptions (the observer overhead every watched deployment pays),
+	// at 10k subscriptions (the dense per-object alerting load), and at
+	// 100k (the per-(kind, tag) anchor map's regime — cost must track
+	// watchers-per-tag, not the raw subscription count). All
 	// single-threaded under the engine mutex. The detector F1 keys
 	// (cep_*_f1) are informational — the unit tests assert their floors.
 	"cep_dispatch_idle_s_per_mevent",
 	"cep_dispatch_10k_s_per_mevent",
+	"cep_dispatch_100k_s_per_mevent",
 }
 
 type report struct {

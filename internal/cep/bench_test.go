@@ -103,3 +103,11 @@ func benchDispatch(b *testing.B, subs int) {
 func BenchmarkCEPDispatchIdle(b *testing.B)    { benchDispatch(b, 0) }
 func BenchmarkCEPDispatch1kSubs(b *testing.B)  { benchDispatch(b, 1_000) }
 func BenchmarkCEPDispatch10kSubs(b *testing.B) { benchDispatch(b, 10_000) }
+
+// The 100k row exists because of the per-(kind, tag) anchor index: the
+// subscriptions here all name a tag in their first step, so dispatch
+// probes the tag map and visits only the event's own watchers instead
+// of rejecting every other subscription one by one. Cost per event
+// should track the watchers-per-tag ratio (subs / population), not the
+// raw subscription count.
+func BenchmarkCEPDispatch100kSubs(b *testing.B) { benchDispatch(b, 100_000) }

@@ -103,7 +103,15 @@ type Engine struct {
 	// match, so an event only touches subscriptions it could anchor.
 	// Entries for dead subscriptions are skipped lazily and compacted when
 	// they outnumber the live ones.
-	byKind [6][]*subscription
+	//
+	// Subscriptions whose first step names a specific object (obj=N) are
+	// discriminated further, by (kind, tag) in byKindTag: an event then
+	// visits only the subscriptions anchored on its own object, so ten
+	// thousand per-tag watches cost a dispatch one map probe, not ten
+	// thousand first-step rejections. Tag-agnostic first steps stay in
+	// byKind.
+	byKind    [6][]*subscription
+	byKindTag [6]map[model.Tag][]*subscription
 
 	objRuns map[model.Tag]*run // head of the per-object run list
 	heap    []*run             // min-heap on deadline
@@ -150,7 +158,15 @@ func (e *Engine) SubscribeFunc(src string, fn func(Match)) (int, error) {
 	s := &subscription{id: e.nextID, pat: p, fn: fn}
 	e.subs[s.id] = s
 	for k := event.StartLocation; k <= event.Missing; k++ {
-		if p.Steps[0].Kinds.Has(k) {
+		if !p.Steps[0].Kinds.Has(k) {
+			continue
+		}
+		if tag := p.Steps[0].Tag; tag != model.NoTag {
+			if e.byKindTag[k] == nil {
+				e.byKindTag[k] = make(map[model.Tag][]*subscription)
+			}
+			e.byKindTag[k][tag] = append(e.byKindTag[k][tag], s)
+		} else {
 			e.byKind[k] = append(e.byKind[k], s)
 		}
 	}
@@ -177,8 +193,8 @@ func (e *Engine) Unsubscribe(id int) {
 		e.killRun(r)
 		r = next
 	}
-	// Compact the kind index once dead entries dominate, so subscription
-	// churn cannot grow it without bound.
+	// Compact the kind indexes once dead entries dominate, so
+	// subscription churn cannot grow them without bound.
 	if e.deadSub > len(e.subs)+16 {
 		for k := range e.byKind {
 			live := e.byKind[k][:0]
@@ -192,6 +208,24 @@ func (e *Engine) Unsubscribe(id int) {
 				e.byKind[k][i] = nil
 			}
 			e.byKind[k] = live
+		}
+		for k := range e.byKindTag {
+			for tag, subs := range e.byKindTag[k] {
+				live := subs[:0]
+				for _, s := range subs {
+					if !s.dead {
+						live = append(live, s)
+					}
+				}
+				if len(live) == 0 {
+					delete(e.byKindTag[k], tag)
+					continue
+				}
+				for i := len(live); i < len(subs); i++ {
+					subs[i] = nil
+				}
+				e.byKindTag[k][tag] = live
+			}
 		}
 		e.deadSub = 0
 	}
@@ -311,7 +345,16 @@ func (e *Engine) process(now model.Epoch, ev event.Event) {
 		e.advanceRun(r, now, ev)
 		r = next
 	}
-	for _, s := range e.byKind[ev.Kind] {
+	e.anchor(e.byKind[ev.Kind], now, ev)
+	if m := e.byKindTag[ev.Kind]; m != nil {
+		e.anchor(m[ev.Object], now, ev)
+	}
+}
+
+// anchor tries to start (or, for single-step patterns, complete) each
+// candidate subscription on the event.
+func (e *Engine) anchor(subs []*subscription, now model.Epoch, ev event.Event) {
+	for _, s := range subs {
 		if s.dead || !s.pat.matches(0, ev, nil) {
 			continue
 		}

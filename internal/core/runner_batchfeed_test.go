@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/model"
+	"spire/internal/sim"
+)
+
+// The batch feed channel (Runner.RunBatches) is a pure representation
+// change: for every ingest width and policy it must reproduce Run's
+// event stream, snapshots, query store, and ingest stats bit for bit.
+// These tests are the feed adapter's differential suite; the fuzz target
+// extends it to fault-injected deliveries.
+
+// runBatchesTrace drives RunBatches over a clean trace in lockstep (send
+// one batch, wait for its output) so mid-run snapshots can be taken with
+// the substrate quiescent. Two batches alternate as the feed's scratch,
+// exercising the documented reuse discipline: a sent batch is dead to
+// the sender until the runner has received the next one.
+func runBatchesTrace(t *testing.T, sub *Substrate, trace []*model.Observation, mid, workers int) (perEpoch [][]event.Event, closing []event.Event, midSnap, endSnap []byte) {
+	t.Helper()
+	sub.SetIngestWorkers(workers)
+	r := NewRunner(sub)
+	in := make(chan *model.Batch)
+	out := make(chan *EpochOutput)
+	errc := make(chan error, 1)
+	go func() { errc <- r.RunBatches(context.Background(), in, out) }()
+
+	var bufs [2]model.Batch
+	perEpoch = make([][]event.Event, len(trace))
+	for i, o := range trace {
+		in <- bufs[i%2].FromObservation(o.Clone())
+		po := <-out
+		perEpoch[i] = append([]event.Event(nil), po.Events...)
+		if i == mid {
+			zeroWallClock(sub) // snapshots embed wall-clock stage timings
+			var buf bytes.Buffer
+			if err := sub.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			midSnap = buf.Bytes()
+		}
+	}
+	close(in)
+	for po := range out {
+		closing = append(closing, po.Events...)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	zeroWallClock(sub)
+	var buf bytes.Buffer
+	if err := sub.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return perEpoch, closing, midSnap, buf.Bytes()
+}
+
+// TestRunBatchesByteIdentity pins the batch feed against the
+// ProcessEpoch reference across ingest widths {0, 1, 4} at both
+// compression levels: events, mid-run and final snapshots, and the
+// query store fed from the output stream.
+func TestRunBatchesByteIdentity(t *testing.T) {
+	trace, s := buildTrace(t, 120)
+	mid := len(trace) / 2
+	for _, level := range []CompressionLevel{Level1, Level2} {
+		t.Run(fmt.Sprintf("level%d", level), func(t *testing.T) {
+			ref := newSubstrate(t, s, level)
+			refEpochs, refClosing, refMid, refEnd := runTraceSnap(t, ref, trace, mid)
+			refFull := flatten(refEpochs, refClosing)
+			refBytes := encodeEvents(t, refFull)
+			refStore := feedStore(t, refFull)
+			if len(refBytes) == 0 {
+				t.Fatal("reference run produced no events")
+			}
+
+			for _, workers := range []int{0, 1, 4} {
+				name := fmt.Sprintf("ingest-workers=%d", workers)
+				sub := newSubstrate(t, s, level)
+				perEpoch, closing, midSnap, endSnap := runBatchesTrace(t, sub, trace, mid, workers)
+				full := flatten(perEpoch, closing)
+				if !bytes.Equal(encodeEvents(t, full), refBytes) {
+					t.Fatalf("%s: RunBatches event stream differs from reference (%d vs %d events)",
+						name, len(full), len(refFull))
+				}
+				if !bytes.Equal(midSnap, refMid) {
+					t.Fatalf("%s: mid-run snapshot differs from reference", name)
+				}
+				if !bytes.Equal(endSnap, refEnd) {
+					t.Fatalf("%s: final snapshot differs from reference", name)
+				}
+				compareStores(t, feedStore(t, full), refStore, name)
+			}
+		})
+	}
+}
+
+// runBatchesGated drives RunBatches over an arbitrary (possibly faulted)
+// delivery sequence, mirroring runGated for the observation feed.
+func runBatchesGated(t *testing.T, sub *Substrate, cfg RunnerConfig, delivery []*model.Observation) ([]event.Event, IngestStats) {
+	t.Helper()
+	r := NewRunnerConfigured(sub, cfg)
+	in := make(chan *model.Batch)
+	out := make(chan *EpochOutput, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- r.RunBatches(context.Background(), in, out) }()
+	var evs []event.Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for po := range out {
+			evs = append(evs, po.Events...)
+		}
+	}()
+	var bufs [2]model.Batch
+	for i, o := range delivery {
+		in <- bufs[i%2].FromObservation(o.Clone())
+	}
+	close(in)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return evs, r.IngestStats()
+}
+
+// TestRunBatchesGatePolicyParity pins that the batch feed's direct gate
+// (strict/reject) and its repair staging produce the same events and the
+// same ingest stats as Run over a faulted delivery.
+func TestRunBatchesGatePolicyParity(t *testing.T) {
+	trace, s := buildTrace(t, 150)
+	inj := sim.NewFaultInjector(sim.FaultConfig{
+		Seed:          11,
+		DuplicateRate: 0.25,
+		SwapRate:      0.20,
+		DropEpochRate: 0.05,
+	})
+	delivery := inj.Apply(trace)
+
+	for _, policy := range []IngestPolicy{IngestReject, IngestRepair} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := RunnerConfig{Ingest: IngestConfig{Policy: policy}}
+			wantEvs, wantStats := runGated(t, newSubstrate(t, s, Level2), cfg, delivery)
+			gotEvs, gotStats := runBatchesGated(t, newSubstrate(t, s, Level2), cfg, delivery)
+			if !bytes.Equal(encodeEvents(t, gotEvs), encodeEvents(t, wantEvs)) {
+				t.Fatalf("event stream differs from Run (%d vs %d events)", len(gotEvs), len(wantEvs))
+			}
+			if gotStats != wantStats {
+				t.Fatalf("ingest stats differ: RunBatches %+v, Run %+v", gotStats, wantStats)
+			}
+		})
+	}
+
+	// Strict on the clean trace (a faulted one would error both paths).
+	t.Run("strict", func(t *testing.T) {
+		wantEvs, wantStats := runGated(t, newSubstrate(t, s, Level2), RunnerConfig{}, trace)
+		gotEvs, gotStats := runBatchesGated(t, newSubstrate(t, s, Level2), RunnerConfig{}, trace)
+		if !bytes.Equal(encodeEvents(t, gotEvs), encodeEvents(t, wantEvs)) {
+			t.Fatalf("event stream differs from Run (%d vs %d events)", len(gotEvs), len(wantEvs))
+		}
+		if gotStats != wantStats {
+			t.Fatalf("ingest stats differ: RunBatches %+v, Run %+v", gotStats, wantStats)
+		}
+	})
+}
+
+// FuzzZoneBatchFeedEquivalence fuzzes fault-injected deliveries through
+// both Runner entry points — Run staging observations, RunBatches on the
+// zero-copy feed — under the reject and repair policies at several
+// ingest widths, demanding identical event streams, snapshots, and gate
+// stats. The committed corpus keeps CI's fuzz-smoke on known-hard
+// delivery shapes (dropout bursts straddling the reorder window).
+func FuzzZoneBatchFeedEquivalence(f *testing.F) {
+	cfg := sim.DefaultConfig()
+	cfg.Duration = 80
+	cfg.PalletInterval = 40
+	cfg.ItemsPerCase = 3
+	cfg.ShelfTime = 60
+	cfg.ShelfPeriod = 10
+	s, err := sim.New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var trace []*model.Observation
+	for !s.Done() {
+		o, err := s.Step()
+		if err != nil {
+			f.Fatal(err)
+		}
+		trace = append(trace, o)
+	}
+
+	f.Add(int64(1), byte(0), byte(0), byte(0), byte(0), byte(0), false)
+	f.Add(int64(2), byte(30), byte(30), byte(10), byte(10), byte(3), true)
+	f.Add(int64(5), byte(12), byte(45), byte(3), byte(17), byte(4), false)
+	f.Fuzz(func(t *testing.T, seed int64, dup, swap, drop, burstEvery, burstLen byte, repair bool) {
+		fcfg := sim.FaultConfig{
+			Seed:          seed,
+			DuplicateRate: float64(dup%64) / 100,
+			SwapRate:      float64(swap%64) / 100,
+			DropEpochRate: float64(drop%32) / 100,
+			DropoutEvery:  model.Epoch(burstEvery % 20),
+			DropoutLen:    model.Epoch(burstLen % 5),
+		}
+		delivery := sim.NewFaultInjector(fcfg).Apply(trace)
+		policy := IngestReject
+		if repair {
+			policy = IngestRepair
+		}
+		rcfg := RunnerConfig{Ingest: IngestConfig{Policy: policy}}
+
+		refSub := newSubstrate(t, s, Level2)
+		refEvs, refStats := runGated(t, refSub, rcfg, delivery)
+		refBytes := encodeEvents(t, refEvs)
+		zeroWallClock(refSub)
+		var refSnap bytes.Buffer
+		if err := refSub.Snapshot(&refSnap); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{1, 4, 0} {
+			sub := newSubstrate(t, s, Level2)
+			sub.SetIngestWorkers(workers)
+			evs, stats := runBatchesGated(t, sub, rcfg, delivery)
+			if !bytes.Equal(encodeEvents(t, evs), refBytes) {
+				t.Fatalf("ingest-workers=%d: batch feed output differs from Run", workers)
+			}
+			if stats != refStats {
+				t.Fatalf("ingest-workers=%d: stats differ: %+v vs %+v", workers, stats, refStats)
+			}
+			zeroWallClock(sub)
+			var snap bytes.Buffer
+			if err := sub.Snapshot(&snap); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap.Bytes(), refSnap.Bytes()) {
+				t.Fatalf("ingest-workers=%d: snapshot after batch feed differs", workers)
+			}
+		}
+	})
+}

@@ -368,6 +368,7 @@ func CEPPerf(o Options) (*Table, error) {
 		{"BenchmarkCEPDispatchIdle", 0},
 		{"BenchmarkCEPDispatch1kSubs", 1_000},
 		{"BenchmarkCEPDispatch10kSubs", 10_000},
+		{"BenchmarkCEPDispatch100kSubs", 100_000},
 	} {
 		engine := cep.NewEngine(cep.Config{})
 		for i := 0; i < load.subs; i++ {

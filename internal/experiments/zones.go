@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -73,12 +74,21 @@ func runZonesSingle(cfg sim.Config) (int64, int64, time.Duration, error) {
 	return readings, events, time.Since(start), nil
 }
 
+// zoneSlate is one epoch's batches from every zone, stamped with the
+// epoch — the merge-only measurements replay slates through both merger
+// implementations, and the parallel one needs the true epoch for its
+// barrier precondition.
+type zoneSlate struct {
+	epoch   model.Epoch
+	batches [][]event.Event
+}
+
 // runZonesFederated times the in-process federated interpretation: one
 // substrate per zone, each epoch's zone substrates stepped concurrently
 // (as the cluster's worker processes would run), the merger driven
 // serially in fixed zone order. When capture is non-nil it receives every
 // per-epoch slate of zone batches, for the merge-only measurement.
-func runZonesFederated(cfg sim.Config, nz int, capture *[][][]event.Event) (int64, int64, time.Duration, error) {
+func runZonesFederated(cfg sim.Config, nz int, capture *[]zoneSlate) (int64, int64, time.Duration, error) {
 	s, err := sim.New(cfg)
 	if err != nil {
 		return 0, 0, 0, err
@@ -136,7 +146,7 @@ func runZonesFederated(cfg sim.Config, nz int, capture *[][][]event.Event) (int6
 			for z := range slate {
 				slate[z] = append([]event.Event(nil), batches[z]...)
 			}
-			*capture = append(*capture, slate)
+			*capture = append(*capture, zoneSlate{epoch: o.Time, batches: slate})
 		}
 	}
 	end := s.Now() + 1
@@ -151,7 +161,7 @@ func runZonesFederated(cfg sim.Config, nz int, capture *[][][]event.Event) (int6
 	}
 	events += int64(len(m.Close(end)))
 	if capture != nil {
-		*capture = append(*capture, closing)
+		*capture = append(*capture, zoneSlate{epoch: end, batches: closing})
 	}
 	return readings, events, time.Since(start), nil
 }
@@ -160,7 +170,7 @@ func runZonesFederated(cfg sim.Config, nz int, capture *[][][]event.Event) (int6
 // fresh Mergers until at least minEvents input events have been ingested,
 // and returns events per second of pure merge work — the coordinator-side
 // serial cost a cluster pays on top of the zones' parallel interpretation.
-func measureMergeOnly(capture [][][]event.Event, nz int, minEvents int64) (float64, error) {
+func measureMergeOnly(capture []zoneSlate, nz int, minEvents int64) (float64, error) {
 	var events int64
 	var elapsed time.Duration
 	for events < minEvents {
@@ -168,7 +178,7 @@ func measureMergeOnly(capture [][][]event.Event, nz int, minEvents int64) (float
 		start := time.Now()
 		for i, slate := range capture {
 			for z := 0; z < nz; z++ {
-				if _, err := m.Ingest(federate.ZoneID(z), slate[z]); err != nil {
+				if _, err := m.Ingest(federate.ZoneID(z), slate.batches[z]); err != nil {
 					return 0, err
 				}
 			}
@@ -178,7 +188,36 @@ func measureMergeOnly(capture [][][]event.Event, nz int, minEvents int64) (float
 		}
 		elapsed += time.Since(start)
 		for _, slate := range capture {
-			for _, b := range slate {
+			for _, b := range slate.batches {
+				events += int64(len(b))
+			}
+		}
+	}
+	return float64(events) / elapsed.Seconds(), nil
+}
+
+// measureMergeParallel replays the same captured slates through the
+// sharded ParallelMerger, one MergeEpoch per slate (the coordinator's
+// batch-feed barrier shape), and returns events per second. It fails if
+// any call fell back to the serial walk — the measurement must time the
+// parallel path.
+func measureMergeParallel(capture []zoneSlate, minEvents int64) (float64, error) {
+	var events int64
+	var elapsed time.Duration
+	for events < minEvents {
+		pm := federate.NewParallelMerger(0)
+		start := time.Now()
+		for i, slate := range capture {
+			if _, err := pm.MergeEpoch(slate.epoch, slate.batches, i == len(capture)-1); err != nil {
+				return 0, err
+			}
+		}
+		elapsed += time.Since(start)
+		if n := pm.SerialFallbacks(); n > 0 {
+			return 0, fmt.Errorf("parallel merge fell back to the serial walk %d times", n)
+		}
+		for _, slate := range capture {
+			for _, b := range slate.batches {
 				events += int64(len(b))
 			}
 		}
@@ -194,7 +233,7 @@ func measureMergeOnly(capture [][][]event.Event, nz int, minEvents int64) (float
 // the telemetry tax on the serial coordinator path, which spirebenchdiff
 // gates so the cluster-health plane cannot quietly grow into the merge
 // stage's budget.
-func measureMergeInstrumented(capture [][][]event.Event, nz int, minEvents int64) (float64, error) {
+func measureMergeInstrumented(capture []zoneSlate, nz int, minEvents int64) (float64, error) {
 	reg := telemetry.NewRegistry()
 	tel := federate.NewCoordinatorInstruments(reg, nz)
 	var events int64
@@ -206,12 +245,12 @@ func measureMergeInstrumented(capture [][][]event.Event, nz int, minEvents int64
 			epochStart := time.Now()
 			tel.BarrierEpoch.Set(int64(i))
 			for z := 0; z < nz; z++ {
-				out, err := m.Ingest(federate.ZoneID(z), slate[z])
+				out, err := m.Ingest(federate.ZoneID(z), slate.batches[z])
 				if err != nil {
 					return 0, err
 				}
 				tel.ZoneEpochs[z].Inc()
-				tel.ZoneEvents[z].Add(int64(len(slate[z])))
+				tel.ZoneEvents[z].Add(int64(len(slate.batches[z])))
 				tel.MergedEvents.Add(int64(len(out)))
 			}
 			if i < len(capture)-1 {
@@ -222,12 +261,89 @@ func measureMergeInstrumented(capture [][][]event.Event, nz int, minEvents int64
 		}
 		elapsed += time.Since(start)
 		for _, slate := range capture {
-			for _, b := range slate {
+			for _, b := range slate.batches {
 				events += int64(len(b))
 			}
 		}
 	}
 	return float64(events) / elapsed.Seconds(), nil
+}
+
+// runZonesWorkerFeedBatch times one zone worker's ingest over the
+// columnar zone-batch feed: the simulation observes only this zone's
+// readers, and the substrate ingests the columns without per-reading
+// staging. Returns the zone's own readings and the wall time.
+func runZonesWorkerFeedBatch(cfg sim.Config, nz, zone int) (int64, time.Duration, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	zones, err := s.PartitionZones(nz)
+	if err != nil {
+		return 0, 0, err
+	}
+	streams, err := s.PartitionZonesBatch(nz)
+	if err != nil {
+		return 0, 0, err
+	}
+	sub, err := benchZonesSubstrate(zones[zone], s.Locations())
+	if err != nil {
+		return 0, 0, err
+	}
+	var readings int64
+	start := time.Now()
+	for {
+		b, err := streams[zone].NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		readings += int64(b.Total())
+		if _, err := sub.ProcessBatch(b); err != nil {
+			return 0, 0, err
+		}
+	}
+	sub.Close(s.Now() + 1)
+	return readings, time.Since(start), nil
+}
+
+// runZonesWorkerFeedObs is the same zone worker over the observation
+// feed: the full deployment's simulation steps every epoch and the
+// zone's share is filtered out — the per-zone cost the batch feed
+// removes.
+func runZonesWorkerFeedObs(cfg sim.Config, nz, zone int) (int64, time.Duration, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	zones, err := s.PartitionZones(nz)
+	if err != nil {
+		return 0, 0, err
+	}
+	sub, err := benchZonesSubstrate(zones[zone], s.Locations())
+	if err != nil {
+		return 0, 0, err
+	}
+	src := sim.NewZoneStream(s, sim.ZoneOfReaders(zones), zone)
+	var readings int64
+	start := time.Now()
+	for {
+		o, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		readings += int64(o.Total())
+		if _, err := sub.ProcessEpoch(o); err != nil {
+			return 0, 0, err
+		}
+	}
+	sub.Close(s.Now() + 1)
+	return readings, time.Since(start), nil
 }
 
 // BenchZones measures federated scaling: the same warehouse interpreted
@@ -254,9 +370,15 @@ func BenchZones(o Options) ([]*Table, error) {
 	}
 	merge := &Table{
 		ID:        "zones-merge",
-		Title:     "Federation merge stage, serial (coordinator-side reconciliation)",
+		Title:     "Federation merge stage (coordinator-side reconciliation)",
 		RowHeader: "stage",
 		Columns:   []string{"Mevent/s", "s/Mevent"},
+	}
+	feedTbl := &Table{
+		ID:        "zones-worker-feed",
+		Title:     "Zone worker ingest: columnar batch feed vs observation feed (zone 0's cost per million of its own readings)",
+		RowHeader: "zones",
+		Columns:   []string{"batch s/Mread", "obs s/Mread", "zone Mreads"},
 	}
 
 	readings, events, elapsed, err := runZonesSingle(cfg)
@@ -266,9 +388,9 @@ func BenchZones(o Options) ([]*Table, error) {
 	base := float64(readings) / elapsed.Seconds()
 	main.AddRow("single", base, 1e6/base, 1.0, float64(events))
 
-	var capture [][][]event.Event
+	var capture []zoneSlate
 	for _, nz := range zoneCounts {
-		var sink *[][][]event.Event
+		var sink *[]zoneSlate
 		if nz == zoneCounts[len(zoneCounts)-1] {
 			sink = &capture
 		}
@@ -291,6 +413,25 @@ func BenchZones(o Options) ([]*Table, error) {
 		return nil, err
 	}
 	merge.AddRow("MergerIngest+telemetry", ieps/1e6, 1e6/ieps)
+	peps, err := measureMergeParallel(capture, minMergeEvents)
+	if err != nil {
+		return nil, err
+	}
+	merge.AddRow("ParallelMerge", peps/1e6, 1e6/peps)
+
+	for _, fz := range zoneCounts {
+		breadings, belapsed, err := runZonesWorkerFeedBatch(cfg, fz, 0)
+		if err != nil {
+			return nil, fmt.Errorf("worker feed batch zones=%d: %w", fz, err)
+		}
+		oreadings, oelapsed, err := runZonesWorkerFeedObs(cfg, fz, 0)
+		if err != nil {
+			return nil, fmt.Errorf("worker feed obs zones=%d: %w", fz, err)
+		}
+		bspm := belapsed.Seconds() / (float64(breadings) / 1e6)
+		ospm := oelapsed.Seconds() / (float64(oreadings) / 1e6)
+		feedTbl.AddRow(fmt.Sprintf("%d", fz), bspm, ospm, float64(breadings)/1e6)
+	}
 
 	main.Notes = append(main.Notes,
 		"zone substrates step concurrently (one goroutine per zone, as cluster worker processes would); the merger runs serially after each epoch",
@@ -299,6 +440,12 @@ func BenchZones(o Options) ([]*Table, error) {
 		"events counts the merged output stream; it grows with zones because cross-zone handoffs close and reopen intervals at the boundary")
 	merge.Notes = append(merge.Notes,
 		fmt.Sprintf("replays the captured %d-zone batches through fresh Mergers; serial, so the gated baseline compares across hosts", nz),
-		"the +telemetry row repeats the replay with live CoordinatorInstruments doing the per-batch and per-epoch metric work of the coordinator's merge path; the delta is the gated telemetry tax")
-	return []*Table{main, merge}, nil
+		"the +telemetry row repeats the replay with live CoordinatorInstruments doing the per-batch and per-epoch metric work of the coordinator's merge path; the delta is the gated telemetry tax",
+		"the ParallelMerge row replays the same slates through the sharded merger, one MergeEpoch per epoch barrier; its advantage over the serial rows depends on idle cores and per-epoch batch size — on one core or tiny epochs the routing, goroutine fork-join, and k-way merge make it slower than the serial walk")
+	feedTbl.Notes = append(feedTbl.Notes,
+		"each row times zone 0 of an N-zone deployment ingesting its feed alone, normalized by that zone's own readings",
+		"batch: sim.PartitionZonesBatch observes only the zone's readers into reused columns and the substrate ingests them directly, so the observation work scales with the zone's own traffic, not the deployment's population; residual growth across rows is the per-epoch substrate overhead and the global world advance amortized over fewer own readings",
+		"obs: the worker re-steps the full deployment's simulation — observing every reader in the population — and filters out its share, so its cost per own reading grows with the zone count; the batch column undercuts it at every row and the gap widens with zones",
+		"the two feeds are distinct deterministic observation traces, so their reading counts differ slightly; each column is normalized by its own trace's readings")
+	return []*Table{main, merge, feedTbl}, nil
 }

@@ -37,6 +37,17 @@ type CoordinatorConfig struct {
 	// timeout (default 0.5; clamped to (0, 1)).
 	StragglerWarnFraction float64
 
+	// SerialMerge selects the serial reference Merger instead of the
+	// sharded ParallelMerger. The two are byte-identical by contract
+	// (the differential suite pins it); the serial path exists as the
+	// oracle and for single-core deployments that prefer no extra
+	// goroutines at the barrier.
+	SerialMerge bool
+
+	// MergeShards sets the ParallelMerger's shard count (0 selects the
+	// default). Ignored under SerialMerge.
+	MergeShards int
+
 	// Logf, when set, receives connection and progress diagnostics in
 	// printf form. Log, when set, receives the same transitions as
 	// structured records (and near-miss warnings at warn level); the two
@@ -60,7 +71,8 @@ type zoneConn struct {
 
 	mu            sync.Mutex // guards writes to conn and the fields below
 	conn          net.Conn   // live connection, if any
-	finalSent     bool       // the final epoch's mark reached this zone (Ack or HelloAck)
+	wantBye       bool       // latest Hello advertised CapBye: require a Bye frame
+	finalSent     bool       // the final epoch's mark reached this zone (Bye, or Ack/HelloAck for legacy workers)
 	everConnected bool       // a Hello handshake has completed at least once
 	connects      int64      // completed handshakes, reconnects included
 }
@@ -69,10 +81,17 @@ type zoneConn struct {
 // batches on an epoch barrier, drives the Merger in fixed zone order,
 // and acks each epoch back once merged. It serves one cluster run.
 type Coordinator struct {
-	cfg    CoordinatorConfig
-	merger *Merger
-	tel    *CoordinatorInstruments
-	ctrace *trace.ConnRecorder
+	cfg     CoordinatorConfig
+	merger  *Merger         // serial oracle path (cfg.SerialMerge)
+	pmerger *ParallelMerger // sharded default path
+	tel     *CoordinatorInstruments
+	ctrace  *trace.ConnRecorder
+
+	// evPool recycles decoded event slices: a frame is decoded into a
+	// pooled slice on its zone's connection goroutine, the slice is owned
+	// by the delivery map until the barrier merges the epoch, and the
+	// merge loop returns it here.
+	evPool sync.Pool
 
 	mu     sync.Mutex
 	zones  []*zoneConn
@@ -103,11 +122,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:     cfg,
-		merger:  NewMerger(),
 		zones:   make([]*zoneConn, cfg.Zones),
 		notify:  make(chan struct{}, 1),
 		final:   model.EpochNone,
 		barrier: model.EpochNone,
+	}
+	if cfg.SerialMerge {
+		c.merger = NewMerger()
+	} else {
+		c.pmerger = NewParallelMerger(cfg.MergeShards)
 	}
 	for z := range c.zones {
 		c.zones[z] = &zoneConn{
@@ -192,9 +215,19 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	zc.conn = conn
 	zc.everConnected = true
 	zc.connects++
-	err = stream.WriteFrame(conn, &stream.Frame{Type: stream.FrameHelloAck, Epoch: acked})
-	if err == nil && final != model.EpochNone && acked >= final {
-		zc.finalSent = true // the HelloAck itself carried the final mark
+	zc.wantBye = hello.Caps&stream.CapBye != 0
+	// Ack the caps intersection: a legacy worker sends caps 0 and gets
+	// row frames; a columnar worker gets the columnar bit echoed back
+	// and may use the columnar epoch encodings on this connection.
+	err = stream.WriteFrame(conn, &stream.Frame{Type: stream.FrameHelloAck, Epoch: acked,
+		Caps: (stream.CapColumnarEpoch | stream.CapBye) & hello.Caps})
+	if err == nil && final != model.EpochNone && acked >= final && !zc.wantBye {
+		// A legacy worker (no Bye handshake) learns the final mark from
+		// the HelloAck itself; a successful write is the best delivery
+		// signal its protocol revision offers. Bye-capable workers confirm
+		// explicitly instead — a write that succeeds just before the link
+		// dies proves nothing about what the peer read.
+		zc.finalSent = true
 	}
 	zc.mu.Unlock()
 	if err != nil {
@@ -217,8 +250,13 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		}
 		zc.mu.Unlock()
 	}()
+	// Frames decode into pooled event slices: a delivered batch keeps its
+	// slice until the barrier merges that epoch; duplicates hand theirs
+	// straight back as the next read's scratch.
+	scratch := c.getEvents()
+	defer func() { c.putEvents(scratch) }()
 	for {
-		f, n, err := stream.ReadFrameCount(conn)
+		f, n, err := stream.ReadFrameCountInto(conn, scratch[:0])
 		if err != nil {
 			if ctx.Err() == nil {
 				c.cfg.Logf("coordinator: zone %d connection lost: %v", hello.Zone, err)
@@ -232,8 +270,23 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		}
 		c.tel.zoneRxBytes(hello.Zone).Add(int64(n))
 		switch f.Type {
-		case stream.FrameEpoch, stream.FrameFin:
-			c.deliver(ZoneID(hello.Zone), f)
+		case stream.FrameEpoch, stream.FrameFin, stream.FrameEpochCols, stream.FrameFinCols:
+			if c.deliver(ZoneID(hello.Zone), f) {
+				scratch = c.getEvents()
+			} else {
+				scratch = f.Events // duplicate dropped; reuse its storage
+			}
+		case stream.FrameBye:
+			// The worker confirms it observed the final ack and is
+			// exiting; the post-run linger stops waiting on this zone.
+			zc.mu.Lock()
+			zc.finalSent = true
+			zc.mu.Unlock()
+			c.cfg.Logf("coordinator: zone %d said goodbye (acked %d)", hello.Zone, f.Epoch)
+			if c.cfg.Log != nil {
+				c.cfg.Log.Info("zone goodbye", "zone", hello.Zone, "acked", int64(f.Epoch))
+			}
+			return
 		default:
 			c.cfg.Logf("coordinator: zone %d sent unexpected %s frame", hello.Zone, f.Type)
 			if c.cfg.Log != nil {
@@ -245,18 +298,20 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 }
 
 // deliver stores one zone's batch, discarding epochs the coordinator has
-// already seen (re-sends after a worker reconnect or restart).
-func (c *Coordinator) deliver(zone ZoneID, f *stream.Frame) {
+// already seen (re-sends after a worker reconnect or restart). It
+// reports whether the batch was stored — a stored batch owns its event
+// slice until the merge loop recycles it.
+func (c *Coordinator) deliver(zone ZoneID, f *stream.Frame) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	zc := c.zones[zone]
 	zc.lastDelivery = time.Now()
 	if f.Epoch <= zc.highest {
-		return // duplicate of an epoch already delivered
+		return false // duplicate of an epoch already delivered
 	}
 	zc.batches[f.Epoch] = f.Events
 	zc.highest = f.Epoch
-	if f.Type == stream.FrameFin {
+	if f.Type == stream.FrameFin || f.Type == stream.FrameFinCols {
 		zc.fin = true
 		zc.finAt = f.Epoch
 		if c.cfg.Log != nil {
@@ -272,6 +327,25 @@ func (c *Coordinator) deliver(zone ZoneID, f *stream.Frame) {
 	case c.notify <- struct{}{}:
 	default:
 	}
+	return true
+}
+
+// getEvents and putEvents recycle decoded event slices between the
+// per-zone connection goroutines (which fill them) and the merge loop
+// (which drains them after the barrier).
+func (c *Coordinator) getEvents() []event.Event {
+	if p, ok := c.evPool.Get().(*[]event.Event); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func (c *Coordinator) putEvents(ev []event.Event) {
+	if cap(ev) == 0 {
+		return
+	}
+	ev = ev[:0]
+	c.evPool.Put(&ev)
 }
 
 // updateZoneGaugesLocked refreshes the per-zone lag and pending gauges
@@ -344,20 +418,34 @@ func (c *Coordinator) mergeLoop(ctx context.Context) error {
 		}
 
 		var merged []event.Event
-		for z, b := range batches {
-			out, err := c.merger.Ingest(ZoneID(z), b)
-			if err != nil {
-				return fmt.Errorf("federate: coordinator: zone %d epoch %d: %w", z, next, err)
+		if c.merger != nil {
+			// Serial oracle path: zones ingest in fixed order, then the
+			// barrier. The Fin batches carry every zone's closing events,
+			// emitted at this epoch; Close runs the last barrier and ends
+			// any interval still open in the merged state.
+			for z, b := range batches {
+				out, err := c.merger.Ingest(ZoneID(z), b)
+				if err != nil {
+					return fmt.Errorf("federate: coordinator: zone %d epoch %d: %w", z, next, err)
+				}
+				merged = append(merged, out...)
 			}
-			merged = append(merged, out...)
-		}
-		if final {
-			// The Fin batches carry every zone's closing events, emitted
-			// at this epoch; Close runs the last barrier and ends any
-			// interval still open in the merged state.
-			merged = append(merged, c.merger.Close(next)...)
+			if final {
+				merged = append(merged, c.merger.Close(next)...)
+			} else {
+				merged = append(merged, c.merger.EndEpoch()...)
+			}
 		} else {
-			merged = append(merged, c.merger.EndEpoch()...)
+			var err error
+			merged, err = c.pmerger.MergeEpoch(next, batches, final)
+			if err != nil {
+				return fmt.Errorf("federate: coordinator: epoch %d: %w", next, err)
+			}
+		}
+		// The merge copied everything it keeps; the decoded slices go
+		// back to the pool for the connection readers.
+		for _, b := range batches {
+			c.putEvents(b)
 		}
 
 		c.mu.Lock()
@@ -542,7 +630,11 @@ func (c *Coordinator) ack(epoch model.Epoch) {
 				zc.conn.Close()
 				zc.conn = nil
 				c.tel.zoneConnected(z).Set(0)
-			} else if final != model.EpochNone && epoch >= final {
+			} else if final != model.EpochNone && epoch >= final && !zc.wantBye {
+				// Legacy workers only: treat the successful final-ack write
+				// as delivery. Bye-capable workers must say goodbye — the
+				// write can succeed into a connection that dies before the
+				// worker reads it.
 				zc.finalSent = true
 			}
 		}
@@ -551,11 +643,11 @@ func (c *Coordinator) ack(epoch model.Epoch) {
 }
 
 // lingerForFinalAcks keeps the coordinator alive briefly after the final
-// merge until every zone has received the final mark — either through
-// the Ack just written, or through the HelloAck of a worker that was
-// mid-reconnect when the run completed. Without this, a zone whose
-// connection was down at the final merge would retry against a vanished
-// coordinator forever.
+// merge until every zone has received the final mark — confirmed by the
+// worker's Bye frame, or (for legacy workers without the Bye handshake)
+// assumed from a successfully written Ack or HelloAck. Without this, a
+// zone whose connection was down at the final merge would retry against
+// a vanished coordinator forever.
 func (c *Coordinator) lingerForFinalAcks(ctx context.Context) {
 	start := time.Now()
 	deadline := time.After(c.cfg.StragglerTimeout)

@@ -1,0 +1,446 @@
+package federate
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// ParallelMerger is the sharded implementation of the Merger's
+// reconciliation semantics, built for the coordinator's epoch barrier:
+// one MergeEpoch call consumes every zone's batch for one epoch and
+// returns exactly the events the serial reference produces — the serial
+// Merger is retained as the oracle, and the differential suite pins the
+// two byte-identical.
+//
+// Per-event reconciliation (apply) touches only the object's own state,
+// so objects partition cleanly: events are routed to shards by object
+// tag, shards apply concurrently, and every emission is stamped with
+// (gidx, sub) — gidx is the event's zone-major global input index, sub
+// its emission sub-index (an apply emits at most two events). A
+// deterministic k-way merge over the per-shard emission runs, ordered
+// by (gidx, sub), reconstructs the serial emission order exactly.
+//
+// The epoch barrier (cross-zone containment conflicts, deferred Missing
+// alarms, claim expiry) reads state across objects, so it runs
+// single-threaded across all shards after the parallel phase — it is
+// the only synchronization point, which is what makes the plan sound:
+// under the barrier precondition (every event in the epoch's batches is
+// emitted at the single epoch T >= the merged stream time) the serial
+// reference runs no mid-batch barrier either, so the shards' state
+// evolution is independent per object by construction. When the
+// precondition fails (a malformed or time-skewed batch), MergeEpoch
+// falls back to a serial walk over the same sharded state, reproducing
+// the reference event for event, error for error.
+type ParallelMerger struct {
+	shards    []*mergeShard
+	shift     uint // tag-hash shift selecting the shard (power-of-2 count)
+	lastTime  model.Epoch
+	heads     []int // k-way merge cursors, one per shard (reused)
+	fallbacks int64 // MergeEpoch calls that took the serial walk
+}
+
+// mergeShard owns one partition of the merged object state.
+type mergeShard struct {
+	states  map[model.Tag]*objState
+	claims  map[model.Tag]model.LocationID
+	in      []shardInput
+	out     []stampedEvent
+	pending []stampedPending
+}
+
+// shardInput is one routed input event with its global order stamp.
+type shardInput struct {
+	zone ZoneID
+	gidx int32
+	e    event.Event
+}
+
+// stampedEvent is one emission tagged with its position in the serial
+// emission order: the triggering input's gidx, then the sub-index among
+// that input's emissions.
+type stampedEvent struct {
+	gidx int32
+	sub  int8
+	e    event.Event
+}
+
+// stampedPending is a deferred Missing alarm with its input stamp; the
+// barrier flushes pending alarms in gidx order, matching the serial
+// merger's append order.
+type stampedPending struct {
+	gidx int32
+	p    pendingMissing
+}
+
+// NewParallelMerger returns an empty sharded merger with the given
+// shard count (rounded up to a power of two; <= 0 selects the default
+// of 8).
+func NewParallelMerger(shards int) *ParallelMerger {
+	if shards <= 0 {
+		shards = 8
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	pm := &ParallelMerger{
+		shards:   make([]*mergeShard, n),
+		shift:    uint(64 - trailingLog2(n)),
+		lastTime: model.EpochNone,
+		heads:    make([]int, n),
+	}
+	for i := range pm.shards {
+		pm.shards[i] = &mergeShard{
+			states: make(map[model.Tag]*objState),
+			claims: make(map[model.Tag]model.LocationID),
+		}
+	}
+	return pm
+}
+
+func trailingLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// shardOf routes an object tag to its shard by Fibonacci hashing: tags
+// are dense small integers, so the multiply spreads them across the
+// high bits the shift selects.
+func (pm *ParallelMerger) shardOf(g model.Tag) *mergeShard {
+	if pm.shift == 64 {
+		return pm.shards[0]
+	}
+	return pm.shards[(uint64(g)*0x9E3779B97F4A7C15)>>pm.shift]
+}
+
+func (s *mergeShard) state(g model.Tag) *objState {
+	st, ok := s.states[g]
+	if !ok {
+		st = &objState{owner: -1, loc: model.LocationNone, container: model.NoTag}
+		s.states[g] = st
+	}
+	return st
+}
+
+// emittedAt is the event's position in the merged stream time: End
+// events sort by their close epoch, everything else by Vs — the same
+// rule the serial Ingest applies.
+func emittedAt(e *event.Event) model.Epoch {
+	if e.Kind == event.EndLocation || e.Kind == event.EndContainment {
+		return e.Ve
+	}
+	return e.Vs
+}
+
+// MergeEpoch merges every zone's batch for one epoch (zone-major order)
+// and returns the merged events, including the epoch barrier's output;
+// when final is set it also closes every interval still open, exactly
+// like the serial Close. Batches are not retained.
+func (pm *ParallelMerger) MergeEpoch(epoch model.Epoch, batches [][]event.Event, final bool) ([]event.Event, error) {
+	// Route events to shards and check the barrier precondition in one
+	// pass; nothing is mutated until the plan is chosen, so the serial
+	// fallback starts from the same state.
+	par := epoch >= pm.lastTime || pm.lastTime == model.EpochNone
+	total := 0
+	gidx := int32(0)
+	for _, b := range batches {
+		total += len(b)
+	}
+	for z, b := range batches {
+		for i := range b {
+			e := &b[i]
+			if par && (e.Validate() != nil || emittedAt(e) != epoch) {
+				par = false
+			}
+			if par {
+				s := pm.shardOf(e.Object)
+				s.in = append(s.in, shardInput{zone: ZoneID(z), gidx: gidx, e: *e})
+			}
+			gidx++
+		}
+	}
+	if !par {
+		for _, s := range pm.shards {
+			s.in = s.in[:0]
+		}
+		pm.fallbacks++
+		return pm.mergeSerial(epoch, batches, final)
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range pm.shards {
+		if len(s.in) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *mergeShard) {
+			defer wg.Done()
+			for i := range s.in {
+				in := &s.in[i]
+				s.apply(in.zone, in.e, in.gidx)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if total > 0 {
+		pm.lastTime = epoch
+	}
+
+	// Deterministic k-way merge of the per-shard emission runs. Each run
+	// is already sorted by gidx (shards apply in input order), and one
+	// input's emissions land in one shard, so comparing (gidx, sub)
+	// across shard heads reconstructs the serial order.
+	out := make([]event.Event, 0, total)
+	heads := pm.heads
+	remaining := 0
+	for i, s := range pm.shards {
+		heads[i] = 0
+		remaining += len(s.out)
+	}
+	for remaining > 0 {
+		best := -1
+		for i, s := range pm.shards {
+			if heads[i] >= len(s.out) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			a, c := &s.out[heads[i]], &pm.shards[best].out[heads[best]]
+			if a.gidx < c.gidx || (a.gidx == c.gidx && a.sub < c.sub) {
+				best = i
+			}
+		}
+		out = append(out, pm.shards[best].out[heads[best]].e)
+		heads[best]++
+		remaining--
+	}
+	for _, s := range pm.shards {
+		s.in = s.in[:0]
+		s.out = s.out[:0]
+	}
+
+	pm.barrierInto(&out)
+	if final {
+		pm.closeInto(epoch, &out)
+	}
+	return out, nil
+}
+
+// mergeSerial reproduces the serial Merger's Ingest-per-zone walk over
+// the sharded state — the fallback for batches that violate the barrier
+// precondition, including ones the serial reference would reject.
+func (pm *ParallelMerger) mergeSerial(epoch model.Epoch, batches [][]event.Event, final bool) ([]event.Event, error) {
+	var out []event.Event
+	gidx := int32(0)
+	for z, b := range batches {
+		for i := range b {
+			e := b[i]
+			if err := e.Validate(); err != nil {
+				return nil, fmt.Errorf("federate: zone %d: %w", z, err)
+			}
+			emitted := emittedAt(&e)
+			if emitted < pm.lastTime {
+				return nil, fmt.Errorf("federate: zone %d: event %v at %d before merged stream time %d",
+					z, e, emitted, pm.lastTime)
+			}
+			if emitted > pm.lastTime && pm.lastTime != model.EpochNone {
+				pm.barrierInto(&out)
+			}
+			s := pm.shardOf(e.Object)
+			s.apply(ZoneID(z), e, gidx)
+			for _, se := range s.out {
+				out = append(out, se.e)
+			}
+			s.out = s.out[:0]
+			if emitted > pm.lastTime {
+				pm.lastTime = emitted
+			}
+			gidx++
+		}
+	}
+	pm.barrierInto(&out)
+	if final {
+		pm.closeInto(epoch, &out)
+	}
+	return out, nil
+}
+
+// apply is the serial Merger.apply, emitting into the shard's stamped
+// run instead of a flat buffer. Any change here must be mirrored in
+// Merger.apply — the differential and fuzz suites enforce that.
+func (s *mergeShard) apply(zone ZoneID, e event.Event, gidx int32) {
+	st := s.state(e.Object)
+	sub := int8(0)
+	emit := func(ev event.Event) {
+		s.out = append(s.out, stampedEvent{gidx: gidx, sub: sub, e: ev})
+		sub++
+	}
+	switch e.Kind {
+	case event.StartLocation:
+		if st.locOpen {
+			if st.owner == zone && st.loc == e.Location {
+				return // duplicate of the already-open interval
+			}
+			emit(event.NewEndLocation(e.Object, st.loc, st.locVs, e.Vs))
+		}
+		st.owner = zone
+		st.locOpen = true
+		st.loc = e.Location
+		st.locVs = e.Vs
+		st.missing = false
+		s.claims[e.Object] = e.Location
+		emit(event.NewStartLocation(e.Object, e.Location, e.Vs))
+	case event.EndLocation:
+		if st.owner != zone || !st.locOpen || st.loc != e.Location {
+			return // stale view from a zone that lost the object
+		}
+		st.locOpen = false
+		s.claims[e.Object] = e.Location
+		emit(event.NewEndLocation(e.Object, e.Location, st.locVs, e.Ve))
+	case event.Missing:
+		if st.owner != zone && st.owner != -1 {
+			return // only the owner may declare the object missing
+		}
+		st.owner = zone
+		if st.locOpen {
+			emit(event.NewEndLocation(e.Object, st.loc, st.locVs, e.Vs))
+			st.locOpen = false
+		}
+		s.pending = append(s.pending, stampedPending{gidx: gidx,
+			p: pendingMissing{obj: e.Object, from: e.Location, at: e.Vs}})
+	case event.StartContainment:
+		if st.contOpen && st.container == e.Container {
+			st.owner = zone
+			return
+		}
+		if st.contOpen {
+			emit(event.NewEndContainment(e.Object, st.container, st.contVs, e.Vs))
+		}
+		st.owner = zone
+		st.contOpen = true
+		st.container = e.Container
+		st.contVs = e.Vs
+		emit(event.NewStartContainment(e.Object, e.Container, e.Vs))
+	case event.EndContainment:
+		if st.owner != zone || !st.contOpen || st.container != e.Container {
+			return // stale view from a zone that lost the object
+		}
+		st.contOpen = false
+		emit(event.NewEndContainment(e.Object, e.Container, st.contVs, e.Ve))
+	}
+}
+
+// effectiveLoc mirrors the serial rule: the location the object
+// asserted this epoch (its claim), else its open interval's location,
+// else unknown.
+func (pm *ParallelMerger) effectiveLoc(g model.Tag, st *objState) (model.LocationID, bool) {
+	if l, ok := pm.shardOf(g).claims[g]; ok {
+		return l, true
+	}
+	if st.locOpen {
+		return st.loc, true
+	}
+	return model.LocationNone, false
+}
+
+// barrierInto runs the epoch barrier across all shards, single-threaded:
+// cross-zone containment conflicts in sorted object order, deferred
+// Missing alarms in input (gidx) order, then claim expiry.
+func (pm *ParallelMerger) barrierInto(out *[]event.Event) {
+	var objs []model.Tag
+	for _, s := range pm.shards {
+		for g, st := range s.states {
+			if !st.contOpen {
+				continue
+			}
+			childLoc, childKnown := pm.effectiveLoc(g, st)
+			if !childKnown {
+				continue
+			}
+			parent, ok := pm.shardOf(st.container).states[st.container]
+			if !ok {
+				continue
+			}
+			parentLoc, parentKnown := pm.effectiveLoc(st.container, parent)
+			if !parentKnown || parentLoc == childLoc {
+				continue
+			}
+			objs = append(objs, g)
+		}
+	}
+	slices.Sort(objs)
+	for _, g := range objs {
+		st := pm.shardOf(g).states[g]
+		*out = append(*out, event.NewEndContainment(g, st.container, st.contVs, pm.lastTime))
+		st.contOpen = false
+	}
+
+	var pend []stampedPending
+	for _, s := range pm.shards {
+		pend = append(pend, s.pending...)
+		s.pending = s.pending[:0]
+	}
+	slices.SortFunc(pend, func(a, b stampedPending) int {
+		return int(a.gidx - b.gidx)
+	})
+	for _, sp := range pend {
+		st := pm.shardOf(sp.p.obj).state(sp.p.obj)
+		if st.locOpen || st.missing {
+			continue // picked up by another zone, or already alarmed
+		}
+		st.missing = true
+		*out = append(*out, event.NewMissing(sp.p.obj, sp.p.from, sp.p.at))
+	}
+	for _, s := range pm.shards {
+		clear(s.claims)
+	}
+}
+
+// closeInto ends every open merged interval at epoch now, in sorted tag
+// order — the serial Close's tail.
+func (pm *ParallelMerger) closeInto(now model.Epoch, out *[]event.Event) {
+	var tags []model.Tag
+	for _, s := range pm.shards {
+		for g, st := range s.states {
+			if st.contOpen || st.locOpen {
+				tags = append(tags, g)
+			}
+		}
+	}
+	slices.Sort(tags)
+	for _, g := range tags {
+		st := pm.shardOf(g).states[g]
+		if st.contOpen {
+			*out = append(*out, event.NewEndContainment(g, st.container, st.contVs, now))
+			st.contOpen = false
+		}
+		if st.locOpen {
+			*out = append(*out, event.NewEndLocation(g, st.loc, st.locVs, now))
+			st.locOpen = false
+		}
+	}
+}
+
+// SerialFallbacks reports how many MergeEpoch calls violated the
+// barrier precondition and took the serial walk — benchmarks use it to
+// verify the parallel path actually engaged.
+func (pm *ParallelMerger) SerialFallbacks() int64 { return pm.fallbacks }
+
+// Objects reports the number of objects the merger has seen.
+func (pm *ParallelMerger) Objects() int {
+	n := 0
+	for _, s := range pm.shards {
+		n += len(s.states)
+	}
+	return n
+}

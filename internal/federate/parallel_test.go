@@ -1,0 +1,228 @@
+package federate
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"spire/internal/compress"
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+// The ParallelMerger's contract is byte-identity with the serial Merger
+// driven the way the coordinator drives it: zones ingested in fixed
+// order, then the epoch barrier (EndEpoch, or Close on the final
+// epoch). These tests replay the fuzz harness's federated world through
+// both mergers and demand identical streams in emission order — not
+// just canonical order — because the coordinator's sink sees emission
+// order.
+
+// zoneEpochBatches interprets a fuzz world per zone and returns each
+// epoch's zone batches (epochBatches[t][z]) plus the closing batches.
+func zoneEpochBatches(t *testing.T, rng *rand.Rand, nZones int, epochs model.Epoch) (perEpoch [][][]event.Event, closing [][]event.Event) {
+	t.Helper()
+	w := newFuzzWorld(rng, nZones)
+	zoneComps := make([]*compress.Level1, nZones)
+	for z := range zoneComps {
+		zoneComps[z] = compress.NewLevel1(w.levelOfTag)
+	}
+	seen := make([][]bool, nZones)
+	for z := range seen {
+		seen[z] = make([]bool, w.nObjects)
+	}
+	for now := model.Epoch(1); now <= epochs; now++ {
+		if now > 1 {
+			w.step(rng)
+		}
+		batches := make([][]event.Event, nZones)
+		for z := 0; z < nZones; z++ {
+			view := newResult(now)
+			for i := 0; i < w.nObjects; i++ {
+				g := w.tag(i)
+				if w.loc[i] != model.LocationUnknown && w.zoneOf(w.loc[i]) == z {
+					seen[z][i] = true
+					view.Locations[g] = w.loc[i]
+					view.Parents[g] = w.parent[i]
+				} else if seen[z][i] {
+					view.Locations[g] = model.LocationUnknown
+				}
+			}
+			batches[z] = slices.Clone(zoneComps[z].Compress(view))
+		}
+		perEpoch = append(perEpoch, batches)
+	}
+	closing = make([][]event.Event, nZones)
+	for z := 0; z < nZones; z++ {
+		closing[z] = slices.Clone(zoneComps[z].Close(epochs + 1))
+	}
+	return perEpoch, closing
+}
+
+// mergeSerialReference drives the serial Merger exactly as the
+// coordinator's SerialMerge path does.
+func mergeSerialReference(t *testing.T, perEpoch [][][]event.Event, closing [][]event.Event, epochs model.Epoch) []event.Event {
+	t.Helper()
+	m := NewMerger()
+	var out []event.Event
+	for _, batches := range perEpoch {
+		for z, b := range batches {
+			o, err := m.Ingest(ZoneID(z), b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, o...)
+		}
+		out = append(out, m.EndEpoch()...)
+	}
+	for z, b := range closing {
+		o, err := m.Ingest(ZoneID(z), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, o...)
+	}
+	out = append(out, m.Close(epochs+1)...)
+	return out
+}
+
+func mergeParallel(t *testing.T, pm *ParallelMerger, perEpoch [][][]event.Event, closing [][]event.Event, epochs model.Epoch) []event.Event {
+	t.Helper()
+	var out []event.Event
+	for ei, batches := range perEpoch {
+		o, err := pm.MergeEpoch(model.Epoch(ei)+1, batches, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, o...)
+	}
+	o, err := pm.MergeEpoch(epochs+1, closing, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, o...)
+}
+
+func diffStreams(t *testing.T, name string, got, want []event.Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, serial reference %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: event %d differs in emission order:\n got %v\nwant %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelMergerMatchesSerial pins the sharded merger byte-identical
+// to the serial oracle across seeds, zone counts, and shard counts
+// (including a single shard, where the k-way merge degenerates).
+func TestParallelMergerMatchesSerial(t *testing.T) {
+	const epochs = model.Epoch(150)
+	for seed := int64(0); seed < 12; seed++ {
+		for _, nz := range []int{2, 3, 4} {
+			perEpoch, closing := zoneEpochBatches(t, rand.New(rand.NewSource(seed)), nz, epochs)
+			want := mergeSerialReference(t, perEpoch, closing, epochs)
+			for _, shards := range []int{1, 4, 8} {
+				got := mergeParallel(t, NewParallelMerger(shards), perEpoch, closing, epochs)
+				diffStreams(t, "parallel", got, want)
+			}
+		}
+	}
+}
+
+// TestParallelMergerSerialFallback forces the barrier precondition to
+// fail — one call carrying two distinct epochs — and pins the fallback
+// path against the serial reference driven with the same misaligned
+// batches.
+func TestParallelMergerSerialFallback(t *testing.T) {
+	// One zone, consecutive epoch pairs folded into one delivery: the
+	// events inside span two emission times, so MergeEpoch must take the
+	// serial walk with its mid-batch barrier. (With several zones a
+	// folded delivery is illegal for the serial merger too — zone 0
+	// would advance the stream past zone 1's first epoch.)
+	perEpoch, closing := zoneEpochBatches(t, rand.New(rand.NewSource(3)), 1, 40)
+	var folded [][][]event.Event
+	for i := 0; i+1 < len(perEpoch); i += 2 {
+		folded = append(folded, [][]event.Event{
+			append(slices.Clone(perEpoch[i][0]), perEpoch[i+1][0]...),
+		})
+	}
+
+	m := NewMerger()
+	var want []event.Event
+	for _, batches := range folded {
+		for z, b := range batches {
+			o, err := m.Ingest(ZoneID(z), b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, o...)
+		}
+		want = append(want, m.EndEpoch()...)
+	}
+	for z, b := range closing {
+		o, err := m.Ingest(ZoneID(z), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, o...)
+	}
+	want = append(want, m.Close(41)...)
+
+	pm := NewParallelMerger(4)
+	var got []event.Event
+	for ei, batches := range folded {
+		o, err := pm.MergeEpoch(model.Epoch(2*ei)+2, batches, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, o...)
+	}
+	o, err := pm.MergeEpoch(41, closing, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, o...)
+	diffStreams(t, "fallback", got, want)
+}
+
+// TestParallelMergerErrors pins that malformed deliveries fail the same
+// way the serial merger fails: an invalid event and a stream that runs
+// backwards in time are both rejected.
+func TestParallelMergerErrors(t *testing.T) {
+	pm := NewParallelMerger(2)
+	bad := event.Event{Kind: event.StartLocation, Object: model.NoTag, Vs: 3, Ve: model.InfiniteEpoch}
+	if _, err := pm.MergeEpoch(3, [][]event.Event{{bad}}, false); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+
+	pm = NewParallelMerger(2)
+	ok := []event.Event{event.NewStartLocation(1, 2, 10)}
+	if _, err := pm.MergeEpoch(10, [][]event.Event{ok}, false); err != nil {
+		t.Fatal(err)
+	}
+	stale := []event.Event{event.NewStartLocation(2, 2, 4)}
+	if _, err := pm.MergeEpoch(4, [][]event.Event{stale}, false); err == nil {
+		t.Fatal("event before merged stream time accepted")
+	}
+}
+
+// FuzzParallelMergeEquivalence extends the seed grid: any federated
+// world the fuzzer invents must merge identically through the sharded
+// and serial paths.
+func FuzzParallelMergeEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(4))
+	f.Add(int64(42), uint8(3), uint8(1))
+	f.Add(int64(7), uint8(4), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, nz, shards uint8) {
+		const epochs = model.Epoch(80)
+		nZones := 2 + int(nz)%3
+		perEpoch, closing := zoneEpochBatches(t, rand.New(rand.NewSource(seed)), nZones, epochs)
+		want := mergeSerialReference(t, perEpoch, closing, epochs)
+		pm := NewParallelMerger(1 + int(shards)%16)
+		got := mergeParallel(t, pm, perEpoch, closing, epochs)
+		diffStreams(t, "parallel", got, want)
+	})
+}

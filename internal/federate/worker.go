@@ -27,6 +27,14 @@ type ObservationSource interface {
 	Next() (*model.Observation, error)
 }
 
+// BatchSource yields one zone's per-epoch columnar batches in epoch
+// order, returning io.EOF after the last epoch. The returned batch is
+// owned by the source and valid only until the next NextBatch call; the
+// worker consumes it in place (sim.ZoneBatchStream implements this).
+type BatchSource interface {
+	NextBatch() (*model.Batch, error)
+}
+
 // WorkerConfig configures a zone worker.
 type WorkerConfig struct {
 	// Zone is this worker's zone ID (0-based, dense).
@@ -83,6 +91,17 @@ type epochBatch struct {
 	events []event.Event
 	fin    bool
 	sentAt time.Time // first submit time, for ack RTT; zero uninstrumented
+
+	// wire is the batch's encoded frame (length prefix included), built
+	// once at first send and written verbatim on every replay. Owning
+	// the bytes here is the replay buffer's aliasing fix: a redial
+	// mid-epoch re-sends stable private storage, never a column or
+	// scratch slice some other layer is still rewriting. wireCols
+	// records which encoding the bytes carry so a reconnect that
+	// renegotiates capabilities re-encodes instead of replaying frames
+	// the peer no longer understands.
+	wire     []byte
+	wireCols bool
 }
 
 // Worker streams one zone substrate's compressed output to the
@@ -98,9 +117,10 @@ type Worker struct {
 	conn  net.Conn
 	acks  chan model.Epoch
 	rderr chan error
+	caps  uint32 // capabilities negotiated with the current connection
 
 	lastAcked model.Epoch
-	buffer    []epochBatch // processed, not yet acked (epochs > lastAcked)
+	buffer    []*epochBatch // processed, not yet acked (epochs > lastAcked)
 
 	snapEpoch model.Epoch // epoch of the in-memory snapshot (EpochNone: none)
 	snapData  []byte
@@ -219,16 +239,66 @@ func (w *Worker) Run(ctx context.Context, src ObservationSource) error {
 		}
 		last = obs.Time
 		w.setStatus(func(s *WorkerStatus) { s.LastProcessed = obs.Time })
-		if err := w.submit(ctx, epochBatch{epoch: obs.Time, events: out.Events}); err != nil {
+		if err := w.submit(ctx, &epochBatch{epoch: obs.Time, events: out.Events}); err != nil {
 			return err
 		}
 		if (obs.Time-resume)%w.cfg.CheckpointEvery == 0 {
 			w.takeSnapshot(obs.Time)
 		}
 	}
+	return w.finishRun(ctx, last)
+}
 
+// RunBatches is Run for a columnar zone feed: the source yields only
+// this zone's readers' batches (no full-simulation re-run, no per-epoch
+// re-batch) and each batch is processed in place through the substrate's
+// batched ingest. Everything downstream — submit, acks, checkpoints,
+// resume — is shared with Run.
+func (w *Worker) RunBatches(ctx context.Context, src BatchSource) error {
+	defer w.dropConn()
+
+	// A restored substrate has already processed everything up to its
+	// checkpoint epoch; the deterministic source replays those epochs and
+	// we discard them.
+	resume := w.cfg.Substrate.LastEpoch()
+	if err := w.ensureConn(ctx); err != nil {
+		return err
+	}
+
+	last := resume
+	for {
+		b, err := src.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("federate: zone %d source: %w", w.cfg.Zone, err)
+		}
+		if b.Time <= resume {
+			continue // replaying epochs already inside the checkpoint
+		}
+		epoch := b.Time
+		out, err := w.cfg.Substrate.ProcessBatch(b)
+		if err != nil {
+			return fmt.Errorf("federate: zone %d epoch %d: %w", w.cfg.Zone, epoch, err)
+		}
+		last = epoch
+		w.setStatus(func(s *WorkerStatus) { s.LastProcessed = epoch })
+		if err := w.submit(ctx, &epochBatch{epoch: epoch, events: out.Events}); err != nil {
+			return err
+		}
+		if (epoch-resume)%w.cfg.CheckpointEvery == 0 {
+			w.takeSnapshot(epoch)
+		}
+	}
+	return w.finishRun(ctx, last)
+}
+
+// finishRun submits the Fin epoch and waits for the coordinator to ack
+// everything — the shared tail of Run and RunBatches.
+func (w *Worker) finishRun(ctx context.Context, last model.Epoch) error {
 	end := last + 1
-	fin := epochBatch{epoch: end, events: w.cfg.Substrate.Close(end), fin: true}
+	fin := &epochBatch{epoch: end, events: w.cfg.Substrate.Close(end), fin: true}
 	w.setStatus(func(s *WorkerStatus) { s.LastProcessed = end })
 	if err := w.submit(ctx, fin); err != nil {
 		return err
@@ -239,6 +309,7 @@ func (w *Worker) Run(ctx context.Context, src ObservationSource) error {
 			return err
 		}
 	}
+	w.sendBye(ctx)
 	w.setStatus(func(s *WorkerStatus) { s.State = ZoneFinished })
 	if w.cfg.Log != nil {
 		w.cfg.Log.Info("zone run complete", "zone", int(w.cfg.Zone), "final_epoch", int64(end))
@@ -246,8 +317,39 @@ func (w *Worker) Run(ctx context.Context, src ObservationSource) error {
 	return nil
 }
 
+// sendBye tells the coordinator this worker has observed the final ack
+// and is exiting, so its post-run linger ends immediately instead of
+// guessing whether the ack writes were read. Best-effort with a bounded
+// retry budget — a lost Bye costs the coordinator only its linger
+// timeout, while an unbounded retry here could chase a coordinator that
+// has already given up on us and gone away.
+func (w *Worker) sendBye(ctx context.Context) {
+	for attempt := 0; attempt < 4; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if w.conn == nil {
+			if err := w.connectOnce(ctx); err != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(jitterBackoff(w.rng, w.cfg.BaseBackoff)):
+				}
+				continue
+			}
+		}
+		if w.caps&stream.CapBye == 0 {
+			return // legacy coordinator: it lingers on its own heuristics
+		}
+		if _, err := stream.WriteFrameCount(w.conn, &stream.Frame{Type: stream.FrameBye, Epoch: w.lastAcked}); err == nil {
+			return
+		}
+		w.dropConn()
+	}
+}
+
 // submit buffers the batch, sends it, and enforces the ack window.
-func (w *Worker) submit(ctx context.Context, b epochBatch) error {
+func (w *Worker) submit(ctx context.Context, b *epochBatch) error {
 	w.drainAcks()
 	if b.epoch <= w.lastAcked {
 		return nil // already merged before a restart; nothing to send
@@ -283,13 +385,18 @@ func (w *Worker) noteReplayDepth() {
 	})
 }
 
-// sendBatch writes the batch, redialing until it succeeds or the context
-// ends. Reconnecting re-sends every buffered epoch the coordinator has
-// not acked (it deduplicates, so overlap is harmless).
-func (w *Worker) sendBatch(ctx context.Context, b epochBatch) error {
+// sendBatch delivers the batch, redialing until it succeeds or the
+// context ends. When there is no live connection, the (re)connect itself
+// is the delivery: submit buffers b before sending, so connectOnce's
+// replay of the unacked buffer already carries it (or the HelloAck
+// proved it merged). Writing b again after a replay would double-send
+// one frame per reconnect — and against a flaky link that dies every few
+// writes, the redundant write burned the fresh connection immediately,
+// livelocking the worker in a reconnect cycle.
+func (w *Worker) sendBatch(ctx context.Context, b *epochBatch) error {
 	for {
-		if err := w.ensureConn(ctx); err != nil {
-			return err
+		if w.conn == nil {
+			return w.ensureConn(ctx)
 		}
 		if err := w.writeBatch(b); err == nil {
 			return nil
@@ -303,12 +410,31 @@ func (w *Worker) sendBatch(ctx context.Context, b epochBatch) error {
 	}
 }
 
-func (w *Worker) writeBatch(b epochBatch) error {
-	typ := stream.FrameEpoch
-	if b.fin {
-		typ = stream.FrameFin
+// writeBatch sends the batch's frame, encoding it into the batch's owned
+// wire buffer on first use. Replays after a reconnect write the same
+// bytes zero-copy; only a capability change across the reconnect (the
+// coordinator was replaced by one speaking a different encoding) forces
+// a re-encode.
+func (w *Worker) writeBatch(b *epochBatch) error {
+	cols := w.caps&stream.CapColumnarEpoch != 0
+	if len(b.wire) == 0 || b.wireCols != cols {
+		typ := stream.FrameEpoch
+		switch {
+		case b.fin && cols:
+			typ = stream.FrameFinCols
+		case b.fin:
+			typ = stream.FrameFin
+		case cols:
+			typ = stream.FrameEpochCols
+		}
+		var err error
+		b.wire, err = stream.AppendFrame(b.wire[:0], &stream.Frame{Type: typ, Epoch: b.epoch, Events: b.events})
+		if err != nil {
+			return err
+		}
+		b.wireCols = cols
 	}
-	n, err := stream.WriteFrameCount(w.conn, &stream.Frame{Type: typ, Epoch: b.epoch, Events: b.events})
+	n, err := w.conn.Write(b.wire)
 	w.tel.txBytes().Add(int64(n))
 	return err
 }
@@ -359,7 +485,8 @@ func (w *Worker) connectOnce(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	hello := &stream.Frame{Type: stream.FrameHello, Zone: int(w.cfg.Zone), Epoch: w.cfg.Substrate.LastEpoch()}
+	hello := &stream.Frame{Type: stream.FrameHello, Zone: int(w.cfg.Zone),
+		Epoch: w.cfg.Substrate.LastEpoch(), Caps: stream.CapColumnarEpoch | stream.CapBye}
 	if _, err := stream.WriteFrameCount(conn, hello); err != nil {
 		conn.Close()
 		return err
@@ -374,6 +501,10 @@ func (w *Worker) connectOnce(ctx context.Context) error {
 		return fmt.Errorf("handshake: got %s, want hello-ack", f.Type)
 	}
 	w.conn = conn
+	// The intersection of offered and acked capabilities governs every
+	// frame on this connection, including the replay below — a legacy
+	// coordinator acks 0 and gets row frames (and no Bye).
+	w.caps = (stream.CapColumnarEpoch | stream.CapBye) & f.Caps
 	w.acks = make(chan model.Epoch, 64)
 	w.rderr = make(chan error, 1)
 	go readAcks(conn, w.acks, w.rderr, w.tel.rxBytes())
@@ -443,6 +574,7 @@ func (w *Worker) dropConn() {
 		w.conn = nil
 		w.acks = nil
 		w.rderr = nil
+		w.caps = 0
 		w.tel.connected().Set(0)
 		w.setStatus(func(s *WorkerStatus) {
 			if s.State == ZoneStreaming {

@@ -15,6 +15,12 @@ type World struct {
 	now       Epoch
 	locations []Location
 	objects   map[Tag]*ObjectState
+	// byLoc indexes present objects by their current location (including
+	// the special LocationUnknown), so At is proportional to the occupancy
+	// of one location rather than the whole population. Maintained by the
+	// three mutation points that change an object's location: Enter,
+	// Depart, and moveSubtree.
+	byLoc map[LocationID]map[Tag]struct{}
 }
 
 // ObjectState is the ground truth for one object.
@@ -43,7 +49,23 @@ func NewWorld(locations []Location) (*World, error) {
 	return &World{
 		locations: locations,
 		objects:   make(map[Tag]*ObjectState),
+		byLoc:     make(map[LocationID]map[Tag]struct{}),
 	}, nil
+}
+
+func (w *World) indexAdd(tag Tag, loc LocationID) {
+	m := w.byLoc[loc]
+	if m == nil {
+		m = make(map[Tag]struct{})
+		w.byLoc[loc] = m
+	}
+	m[tag] = struct{}{}
+}
+
+func (w *World) indexRemove(tag Tag, loc LocationID) {
+	if m := w.byLoc[loc]; m != nil {
+		delete(m, tag)
+	}
 }
 
 // Now returns the world's current epoch.
@@ -81,6 +103,7 @@ func (w *World) Enter(tag Tag, lvl Level, loc LocationID) (*ObjectState, error) 
 		Departed: EpochNone,
 	}
 	w.objects[tag] = st
+	w.indexAdd(tag, loc)
 	return st, nil
 }
 
@@ -99,6 +122,7 @@ func (w *World) Depart(tag Tag) error {
 	}
 	st.Departed = w.now
 	delete(w.objects, tag)
+	w.indexRemove(tag, st.Location)
 	return nil
 }
 
@@ -202,7 +226,11 @@ func (w *World) Move(tag Tag, loc LocationID) error {
 }
 
 func (w *World) moveSubtree(st *ObjectState, loc LocationID) {
-	st.Location = loc
+	if st.Location != loc {
+		w.indexRemove(st.Tag, st.Location)
+		st.Location = loc
+		w.indexAdd(st.Tag, loc)
+	}
 	for c := range st.Children {
 		if cs, ok := w.objects[c]; ok {
 			w.moveSubtree(cs, loc)
@@ -225,14 +253,32 @@ func (w *World) Len() int { return len(w.objects) }
 
 // At returns the tags of all objects currently at loc, in ascending order.
 func (w *World) At(loc LocationID) []Tag {
-	var out []Tag
-	for t, st := range w.objects {
-		if st.Location == loc {
-			out = append(out, t)
-		}
+	m := w.byLoc[loc]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Tag, 0, len(m))
+	for t := range m {
+		out = append(out, t)
 	}
 	slices.Sort(out)
 	return out
+}
+
+// AtAppend appends the tags of all objects currently at loc to dst in
+// ascending order and returns the extended slice. It is At without the
+// per-call allocation, for callers that sweep many readers per epoch.
+func (w *World) AtAppend(dst []Tag, loc LocationID) []Tag {
+	m := w.byLoc[loc]
+	if len(m) == 0 {
+		return dst
+	}
+	start := len(dst)
+	for t := range m {
+		dst = append(dst, t)
+	}
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // TopLevelContainer follows parent links to the outermost container of

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"spire/internal/model"
+)
+
+func zoneBatchTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 17
+	cfg.Duration = 400
+	cfg.PalletInterval = 60
+	cfg.NumShelves = 6
+	cfg.ReadRate = 0.9
+	return cfg
+}
+
+// readingsByReader flattens a batch into reader→tags (copied).
+func readingsByReader(dst map[model.ReaderID][]model.Tag, b *model.Batch) {
+	for i, g := range b.Groups {
+		dst[g.Reader] = append(dst[g.Reader][:0], b.GroupTags(i)...)
+	}
+}
+
+// TestZoneBatchUnionMatchesFullFeed pins the zone-batch determinism
+// contract: for any partition width, the union of the zones' batches at
+// each epoch equals the single-zone (full deployment) zone-batch trace
+// from the same seed. This is what lets every zone worker simulate
+// independently yet collectively cover exactly the full deployment's
+// readings.
+func TestZoneBatchUnionMatchesFullFeed(t *testing.T) {
+	cfg := zoneBatchTestConfig()
+
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullStreams, err := full.PartitionZonesBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nz := range []int{2, 4} {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams, err := s.PartitionZonesBatch(nz)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		want := make(map[model.ReaderID][]model.Tag)
+		got := make(map[model.ReaderID][]model.Tag)
+		epochs := 0
+		for {
+			fb, err := fullStreams[0].NextBatch()
+			if errors.Is(err, io.EOF) {
+				for _, zs := range streams {
+					if _, err := zs.NextBatch(); !errors.Is(err, io.EOF) {
+						t.Fatalf("nz=%d: zone stream not at EOF with full stream", nz)
+					}
+				}
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			clear(want)
+			readingsByReader(want, fb)
+
+			clear(got)
+			for z, zs := range streams {
+				zb, err := zs.NextBatch()
+				if err != nil {
+					t.Fatalf("nz=%d zone %d: %v", nz, z, err)
+				}
+				if zb.Time != fb.Time {
+					t.Fatalf("nz=%d zone %d: epoch %d, want %d", nz, z, zb.Time, fb.Time)
+				}
+				readingsByReader(got, zb)
+			}
+
+			if len(got) != len(want) {
+				t.Fatalf("nz=%d epoch %d: %d readers with readings, want %d", nz, fb.Time, len(got), len(want))
+			}
+			for r, tags := range want {
+				gt, ok := got[r]
+				if !ok || !tagsEqual(gt, tags) {
+					t.Fatalf("nz=%d epoch %d reader %d: readings diverge (got %v, want %v)", nz, fb.Time, r, gt, tags)
+				}
+			}
+			epochs++
+		}
+		if epochs != int(cfg.Duration) {
+			t.Fatalf("nz=%d: drove %d epochs, want %d", nz, epochs, cfg.Duration)
+		}
+		// Restart the full trace for the next partition width.
+		full, err = New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fullStreams, err = full.PartitionZonesBatch(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tagsEqual(a, b []model.Tag) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestZoneBatchLockstepError pins the lockstep contract: a stream that
+// falls behind the world clock gets an error, not silently wrong
+// readings.
+func TestZoneBatchLockstepError(t *testing.T) {
+	s, err := New(zoneBatchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := s.PartitionZonesBatch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streams[0].NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streams[0].NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streams[1].NextBatch(); err == nil {
+		t.Fatal("stream behind the world clock did not error")
+	}
+}

@@ -22,11 +22,17 @@ import (
 //	coord  → Ack{Epoch}                  (after the epoch barrier merges it)
 //	worker → Fin{Epoch, Events}          (closing events, emitted at Epoch)
 //	coord  → Ack{Epoch}                  (final ack)
+//	worker → Bye{Epoch}                  (final ack observed; worker exiting)
 //
 // The handshake carries the resume protocol: a reconnecting worker
 // learns the coordinator's ack high-water mark and re-sends exactly the
 // epochs after it, so a crash between send and ack neither loses nor
 // duplicates merged events.
+//
+// Hello and HelloAck additionally carry a capability word (absent in the
+// original protocol revision; decoders treat a short body as caps 0, so
+// old and new peers interop). A capability is in effect only when both
+// sides advertise it.
 
 // FrameType discriminates the frames of the zone↔coordinator protocol.
 type FrameType uint8
@@ -38,6 +44,30 @@ const (
 	FrameEpoch
 	FrameAck
 	FrameFin
+	// FrameEpochCols and FrameFinCols are the columnar encodings of
+	// Epoch and Fin: same epoch/count header, then the events as
+	// struct-of-arrays columns (kind, object, Vs, then the per-kind
+	// payload columns). The encoded size is byte-for-byte identical to
+	// the row encoding; the win is decode locality and the ability to
+	// reuse column buffers. Sent only when both sides negotiated
+	// CapColumnarEpoch.
+	FrameEpochCols
+	FrameFinCols
+	// FrameBye is the worker's shutdown handshake: it has observed the
+	// final ack and will not reconnect. The coordinator's post-run linger
+	// ends as soon as every zone says goodbye instead of trusting that
+	// its own ack writes were read before the connection died. Sent only
+	// when both sides negotiated CapBye; Epoch carries the worker's ack
+	// high-water mark.
+	FrameBye
+)
+
+// Capability bits carried in Hello/HelloAck.
+const (
+	// CapColumnarEpoch: the peer understands FrameEpochCols/FrameFinCols.
+	CapColumnarEpoch uint32 = 1 << 0
+	// CapBye: the peer speaks the FrameBye shutdown handshake.
+	CapBye uint32 = 1 << 1
 )
 
 func (t FrameType) String() string {
@@ -52,6 +82,12 @@ func (t FrameType) String() string {
 		return "ack"
 	case FrameFin:
 		return "fin"
+	case FrameEpochCols:
+		return "epoch-cols"
+	case FrameFinCols:
+		return "fin-cols"
+	case FrameBye:
+		return "bye"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -59,11 +95,12 @@ func (t FrameType) String() string {
 // Frame is one protocol message. Zone is meaningful for Hello; Epoch for
 // every type (Hello: last processed, HelloAck/Ack: acked epoch, Epoch:
 // the batch's epoch, Fin: the epoch the closing events end at); Events
-// for Epoch and Fin.
+// for Epoch/Fin and their columnar variants; Caps for Hello/HelloAck.
 type Frame struct {
 	Type   FrameType
 	Zone   int
 	Epoch  model.Epoch
+	Caps   uint32
 	Events []event.Event
 }
 
@@ -82,37 +119,93 @@ func WriteFrame(w io.Writer, f *Frame) error {
 // (header included) — the hook the federate byte counters use. The
 // encoding is identical; there is no instrumented wire format.
 func WriteFrameCount(w io.Writer, f *Frame) (int, error) {
-	body := make([]byte, 0, 64)
-	body = append(body, byte(f.Type))
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(buf)
+}
+
+// AppendFrame appends the full wire form of f (length prefix included)
+// to dst and returns the extended slice. It is the encoding primitive
+// behind WriteFrame; workers use it to build owned replay buffers that
+// are written verbatim on every (re)send instead of re-encoding.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = append(dst, byte(f.Type))
 	switch f.Type {
 	case FrameHello:
-		body = binary.BigEndian.AppendUint32(body, uint32(f.Zone))
-		body = binary.BigEndian.AppendUint64(body, uint64(f.Epoch))
-	case FrameHelloAck, FrameAck:
-		body = binary.BigEndian.AppendUint64(body, uint64(f.Epoch))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Zone))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.Epoch))
+		dst = binary.BigEndian.AppendUint32(dst, f.Caps)
+	case FrameHelloAck:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.Epoch))
+		dst = binary.BigEndian.AppendUint32(dst, f.Caps)
+	case FrameAck, FrameBye:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.Epoch))
 	case FrameEpoch, FrameFin:
-		body = binary.BigEndian.AppendUint64(body, uint64(f.Epoch))
-		body = binary.BigEndian.AppendUint32(body, uint32(len(f.Events)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.Epoch))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Events)))
 		var err error
 		for _, e := range f.Events {
-			if body, err = event.Append(body, e); err != nil {
-				return 0, fmt.Errorf("stream: encode %s frame: %w", f.Type, err)
+			if dst, err = event.Append(dst, e); err != nil {
+				return dst[:start], fmt.Errorf("stream: encode %s frame: %w", f.Type, err)
 			}
 		}
+	case FrameEpochCols, FrameFinCols:
+		var err error
+		if dst, err = appendEventCols(dst, f); err != nil {
+			return dst[:start], err
+		}
 	default:
-		return 0, fmt.Errorf("stream: unknown frame type %d", f.Type)
+		return dst[:start], fmt.Errorf("stream: unknown frame type %d", f.Type)
 	}
-	if len(body) > MaxFramePayload {
-		return 0, fmt.Errorf("stream: %s frame payload %d exceeds limit", f.Type, len(body))
+	body := len(dst) - start - 4
+	if body > MaxFramePayload {
+		return dst[:start], fmt.Errorf("stream: %s frame payload %d exceeds limit", f.Type, body)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	n, err := w.Write(hdr[:])
-	if err != nil {
-		return n, err
+	binary.BigEndian.PutUint32(dst[start:], uint32(body))
+	return dst, nil
+}
+
+// appendEventCols encodes the epoch/count header and the event columns:
+// kind[count]u8, object[count]u64, vs[count]u64, then loc u32 per
+// location-kind event, container u64 per containment-kind event, and ve
+// u64 per End* event, each in event order.
+func appendEventCols(dst []byte, f *Frame) ([]byte, error) {
+	for _, e := range f.Events {
+		if err := e.Validate(); err != nil {
+			return dst, fmt.Errorf("stream: encode %s frame: %w", f.Type, err)
+		}
 	}
-	m, err := w.Write(body)
-	return n + m, err
+	dst = binary.BigEndian.AppendUint64(dst, uint64(f.Epoch))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Events)))
+	for _, e := range f.Events {
+		dst = append(dst, byte(e.Kind))
+	}
+	for _, e := range f.Events {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Object))
+	}
+	for _, e := range f.Events {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Vs))
+	}
+	for _, e := range f.Events {
+		if e.Kind.Location() {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(e.Location))
+		}
+	}
+	for _, e := range f.Events {
+		if e.Kind.Containment() {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(e.Container))
+		}
+	}
+	for _, e := range f.Events {
+		if e.Kind == event.EndLocation || e.Kind == event.EndContainment {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(e.Ve))
+		}
+	}
+	return dst, nil
 }
 
 // ReadFrame reads and decodes one frame. io.EOF at a frame boundary is
@@ -125,6 +218,15 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 // ReadFrameCount is ReadFrame reporting the wire bytes consumed (header
 // included) — the hook the federate byte counters use.
 func ReadFrameCount(r io.Reader) (*Frame, int, error) {
+	return ReadFrameCountInto(r, nil)
+}
+
+// ReadFrameCountInto is ReadFrameCount decoding the frame's events into
+// events[:0] (growing as needed) instead of a fresh slice — the hook the
+// coordinator's pooled per-zone decoders use. The returned frame's
+// Events aliases the provided slice; passing nil restores the allocating
+// behaviour.
+func ReadFrameCountInto(r io.Reader, events []event.Event) (*Frame, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, 0, err
@@ -159,7 +261,20 @@ func ReadFrameCount(r io.Reader) (*Frame, int, error) {
 		}
 		f.Zone = int(int32(binary.BigEndian.Uint32(body)))
 		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body[4:]))
-	case FrameHelloAck, FrameAck:
+		// The capability word postdates the first protocol revision;
+		// a short body means an old peer (caps 0).
+		if len(body) >= 16 {
+			f.Caps = binary.BigEndian.Uint32(body[12:])
+		}
+	case FrameHelloAck:
+		if err := need(8); err != nil {
+			return nil, wire, err
+		}
+		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body))
+		if len(body) >= 12 {
+			f.Caps = binary.BigEndian.Uint32(body[8:])
+		}
+	case FrameAck, FrameBye:
 		if err := need(8); err != nil {
 			return nil, wire, err
 		}
@@ -171,7 +286,10 @@ func ReadFrameCount(r io.Reader) (*Frame, int, error) {
 		f.Epoch = model.Epoch(binary.BigEndian.Uint64(body))
 		count := int(binary.BigEndian.Uint32(body[8:]))
 		body = body[12:]
-		f.Events = make([]event.Event, 0, count)
+		if events == nil {
+			events = make([]event.Event, 0, count)
+		}
+		f.Events = events[:0]
 		for i := 0; i < count; i++ {
 			e, n, err := event.Decode(body)
 			if err != nil {
@@ -183,8 +301,98 @@ func ReadFrameCount(r io.Reader) (*Frame, int, error) {
 		if len(body) != 0 {
 			return nil, wire, fmt.Errorf("stream: %s frame has %d trailing bytes", f.Type, len(body))
 		}
+	case FrameEpochCols, FrameFinCols:
+		if err := f.decodeEventCols(body, events); err != nil {
+			return nil, wire, err
+		}
 	default:
 		return nil, wire, fmt.Errorf("stream: unknown frame type %d", uint8(f.Type))
 	}
 	return f, wire, nil
+}
+
+// decodeEventCols decodes the columnar epoch/fin body into f, reusing
+// the capacity of events when non-nil.
+func (f *Frame) decodeEventCols(body []byte, events []event.Event) error {
+	if len(body) < 12 {
+		return fmt.Errorf("stream: truncated %s frame", f.Type)
+	}
+	f.Epoch = model.Epoch(binary.BigEndian.Uint64(body))
+	count := int(binary.BigEndian.Uint32(body[8:]))
+	body = body[12:]
+	if count > MaxFramePayload/13 || len(body) < count {
+		return fmt.Errorf("stream: truncated %s frame", f.Type)
+	}
+	kinds := body[:count]
+	body = body[count:]
+
+	// Size the payload columns from the kind column.
+	var nLoc, nCont, nVe int
+	for _, k := range kinds {
+		switch event.Kind(k) {
+		case event.StartLocation, event.Missing:
+			nLoc++
+		case event.EndLocation:
+			nLoc++
+			nVe++
+		case event.StartContainment:
+			nCont++
+		case event.EndContainment:
+			nCont++
+			nVe++
+		default:
+			return fmt.Errorf("stream: %s frame: invalid kind %d", f.Type, k)
+		}
+	}
+	need := 16*count + 4*nLoc + 8*nCont + 8*nVe
+	if len(body) != need {
+		return fmt.Errorf("stream: %s frame body %d bytes, want %d", f.Type, len(body), need)
+	}
+	objs := body[:8*count]
+	vss := body[8*count : 16*count]
+	locs := body[16*count : 16*count+4*nLoc]
+	conts := body[16*count+4*nLoc : 16*count+4*nLoc+8*nCont]
+	ves := body[16*count+4*nLoc+8*nCont:]
+
+	if events == nil {
+		events = make([]event.Event, 0, count)
+	}
+	f.Events = events[:0]
+	var iLoc, iCont, iVe int
+	for i := 0; i < count; i++ {
+		e := event.Event{
+			Kind:   event.Kind(kinds[i]),
+			Object: model.Tag(binary.BigEndian.Uint64(objs[8*i:])),
+			Vs:     model.Epoch(binary.BigEndian.Uint64(vss[8*i:])),
+		}
+		switch e.Kind {
+		case event.StartLocation:
+			e.Location = model.LocationID(int32(binary.BigEndian.Uint32(locs[4*iLoc:])))
+			iLoc++
+			e.Ve = model.InfiniteEpoch
+		case event.Missing:
+			e.Location = model.LocationID(int32(binary.BigEndian.Uint32(locs[4*iLoc:])))
+			iLoc++
+			e.Ve = e.Vs
+		case event.EndLocation:
+			e.Location = model.LocationID(int32(binary.BigEndian.Uint32(locs[4*iLoc:])))
+			iLoc++
+			e.Ve = model.Epoch(binary.BigEndian.Uint64(ves[8*iVe:]))
+			iVe++
+		case event.StartContainment:
+			e.Container = model.Tag(binary.BigEndian.Uint64(conts[8*iCont:]))
+			iCont++
+			e.Ve = model.InfiniteEpoch
+		case event.EndContainment:
+			e.Container = model.Tag(binary.BigEndian.Uint64(conts[8*iCont:]))
+			iCont++
+			e.Ve = model.Epoch(binary.BigEndian.Uint64(ves[8*iVe:]))
+			iVe++
+		}
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("stream: %s frame event %d: %w", f.Type, i, err)
+		}
+		f.Events = append(f.Events, e)
+	}
+	return nil
 }

@@ -1,0 +1,145 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"slices"
+	"testing"
+
+	"spire/internal/event"
+	"spire/internal/model"
+)
+
+func colsTestEvents() []event.Event {
+	return []event.Event{
+		event.NewStartLocation(11, 2, 40),
+		event.NewEndLocation(11, 2, 40, 45),
+		event.NewStartContainment(12, 99, 41),
+		event.NewEndContainment(12, 99, 41, 45),
+		event.NewMissing(13, 3, 45),
+	}
+}
+
+// TestColumnarFrameRoundTrip pins the columnar epoch encoding: it decodes
+// back to the same events as the row encoding and occupies exactly the
+// same number of wire bytes (the columns are a reshuffle, not a new
+// format cost).
+func TestColumnarFrameRoundTrip(t *testing.T) {
+	events := colsTestEvents()
+	for _, typ := range []FrameType{FrameEpochCols, FrameFinCols} {
+		row := &Frame{Type: FrameEpoch, Epoch: 45, Events: events}
+		if typ == FrameFinCols {
+			row.Type = FrameFin
+		}
+		cols := &Frame{Type: typ, Epoch: 45, Events: events}
+
+		var rowBuf, colBuf bytes.Buffer
+		rn, err := WriteFrameCount(&rowBuf, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := WriteFrameCount(&colBuf, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn != cn {
+			t.Errorf("%s: columnar frame is %d bytes, row frame %d — sizes must match", typ, cn, rn)
+		}
+
+		got, n, err := ReadFrameCount(bytes.NewReader(colBuf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", typ, err)
+		}
+		if n != cn {
+			t.Errorf("%s: decode consumed %d bytes, wrote %d", typ, n, cn)
+		}
+		if got.Type != typ || got.Epoch != 45 {
+			t.Errorf("%s: round trip header %+v", typ, got)
+		}
+		if !slices.Equal(got.Events, events) {
+			t.Errorf("%s: round trip events diverge:\n got %v\nwant %v", typ, got.Events, events)
+		}
+	}
+}
+
+// TestColumnarFrameRejectsCorrupt pins that truncation, bad kinds, and
+// trailing bytes are rejected rather than misdecoded.
+func TestColumnarFrameRejectsCorrupt(t *testing.T) {
+	buf, err := AppendFrame(nil, &Frame{Type: FrameEpochCols, Epoch: 7, Events: colsTestEvents()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trailing byte.
+	grown := append(slices.Clone(buf), 0)
+	binary.BigEndian.PutUint32(grown, uint32(len(grown)-4))
+	if _, _, err := ReadFrameCount(bytes.NewReader(grown)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Truncated body.
+	cut := slices.Clone(buf[:len(buf)-3])
+	binary.BigEndian.PutUint32(cut, uint32(len(cut)-4))
+	if _, _, err := ReadFrameCount(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Invalid kind in the kind column (offset: 4 len + 1 type + 12 header).
+	bad := slices.Clone(buf)
+	bad[17] = 0xEE
+	if _, _, err := ReadFrameCount(bytes.NewReader(bad)); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+// TestHelloCapsInterop pins capability negotiation compatibility both
+// ways: a pre-capability Hello/HelloAck body (no caps word) decodes as
+// caps 0, and the extended body round-trips its caps — so an old peer on
+// either side of the handshake silently negotiates the legacy row
+// encoding.
+func TestHelloCapsInterop(t *testing.T) {
+	for _, f := range []*Frame{
+		{Type: FrameHello, Zone: 2, Epoch: 17, Caps: CapColumnarEpoch},
+		{Type: FrameHelloAck, Epoch: model.EpochNone, Caps: CapColumnarEpoch},
+	} {
+		buf, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ReadFrameCount(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%s: %v", f.Type, err)
+		}
+		if got.Caps != CapColumnarEpoch || got.Epoch != f.Epoch || got.Zone != f.Zone {
+			t.Errorf("%s: round trip %+v, want %+v", f.Type, got, f)
+		}
+
+		// Strip the caps word to reconstruct the old wire form.
+		legacy := slices.Clone(buf[:len(buf)-4])
+		binary.BigEndian.PutUint32(legacy, uint32(len(legacy)-4))
+		got, _, err = ReadFrameCount(bytes.NewReader(legacy))
+		if err != nil {
+			t.Fatalf("%s legacy: %v", f.Type, err)
+		}
+		if got.Caps != 0 {
+			t.Errorf("%s legacy: caps %d, want 0", f.Type, got.Caps)
+		}
+		if got.Epoch != f.Epoch || (f.Type == FrameHello && got.Zone != f.Zone) {
+			t.Errorf("%s legacy: round trip %+v, want %+v", f.Type, got, f)
+		}
+	}
+}
+
+// TestReadFrameCountIntoReuses pins the pooled-decode contract: the
+// returned events alias the caller's slice when capacity suffices.
+func TestReadFrameCountIntoReuses(t *testing.T) {
+	buf, err := AppendFrame(nil, &Frame{Type: FrameEpochCols, Epoch: 7, Events: colsTestEvents()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]event.Event, 0, 32)
+	f, _, err := ReadFrameCountInto(bytes.NewReader(buf), scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &f.Events[0] != &scratch[:1][0] {
+		t.Error("decode did not reuse the provided slice")
+	}
+}
